@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark module renders the paper-style rows for its figure into
+``benchmarks/results/<exp_id>.txt`` *and* prints them (visible with
+``pytest -s``), then lets pytest-benchmark time one representative
+simulation point.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(exp_id: str, text: str) -> None:
+    """Print a rendered table/plot and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def assert_opt_wins(experiment, slack: float = 1e-9) -> None:
+    """The reproduction's hard shape claim: opt >= native at every point."""
+    for cmp in experiment.comparisons():
+        assert cmp.opt.time <= cmp.native.time * (1 + slack), (
+            f"tuned design slower at P={cmp.nranks}, size={cmp.nbytes}: "
+            f"{cmp.opt.time} vs {cmp.native.time}"
+        )

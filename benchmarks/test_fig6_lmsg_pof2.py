@@ -1,0 +1,76 @@
+"""Figure 6 reproduction: long-message bandwidth at power-of-two process
+counts (16 / 64 / 256) on the Hornet-like dragonfly machine.
+
+Paper claims reproduced in *shape*: MPI_Bcast_opt is at least as fast as
+MPI_Bcast_native at every point, with single- to double-digit percent
+bandwidth improvements and a peak-bandwidth edge; 16 processes stay
+intra-node under blocked placement (Section V-A).
+"""
+
+import pytest
+
+from repro.bench import (
+    NATIVE,
+    OPT,
+    fig6,
+    get_experiment,
+    render_bandwidth_table,
+    render_plot,
+)
+from repro.core import simulate_bcast
+
+from conftest import assert_opt_wins, publish
+
+
+def _exp(sub):
+    return get_experiment(f"fig6{sub}", lambda: fig6(sub))
+
+
+@pytest.mark.parametrize("sub,nranks", [("a", 16), ("b", 64), ("c", 256)])
+def test_fig6_panel(sub, nranks, benchmark):
+    exp = _exp(sub)
+    publish(
+        exp.exp_id,
+        render_bandwidth_table(exp, nranks) + "\n\n" + render_plot(exp, nranks),
+    )
+    assert_opt_wins(exp)
+    # Improvements are strictly positive somewhere on the size axis.
+    best = max(c.bandwidth_improvement_pct for c in exp.comparisons())
+    assert best > 1.0
+
+    # Time one representative simulated broadcast (the smallest lmsg point).
+    size = exp.sizes_axis[0]
+
+    def one_point():
+        return simulate_bcast(exp.spec, nranks, size, algorithm=OPT).time
+
+    benchmark.pedantic(one_point, rounds=1, iterations=1)
+
+
+def test_fig6a_is_intra_node():
+    """16 processes under blocked placement never leave the first node."""
+    exp = _exp("a")
+    rec = exp.sweep.record(OPT, 16, exp.sizes_axis[0])
+    assert rec.inter_messages == 0
+    assert rec.intra_messages == rec.messages
+
+
+def test_peak_bandwidth_summary(benchmark):
+    """Section V-A peak-bandwidth table: opt's peak beats native's peak at
+    every process count (paper: +10% / +13% / +16%)."""
+    lines = ["Peak bandwidth (MB/s) across the lmsg sweep:"]
+    gains = {}
+    for sub, nranks in (("a", 16), ("b", 64), ("c", 256)):
+        exp = _exp(sub)
+        peak_native = exp.sweep.peak_bandwidth(NATIVE, nranks)
+        peak_opt = exp.sweep.peak_bandwidth(OPT, nranks)
+        gain = (peak_opt / peak_native - 1) * 100
+        gains[nranks] = gain
+        lines.append(
+            f"  np={nranks:>3}: native {peak_native:8.1f}  opt {peak_opt:8.1f}  "
+            f"(+{gain:.1f}%; paper: +{ {16: 10, 64: 13, 256: 16}[nranks] }%)"
+        )
+    publish("fig6_peaks", "\n".join(lines))
+    assert all(g > 0 for g in gains.values())
+
+    benchmark.pedantic(lambda: gains, rounds=1, iterations=1)

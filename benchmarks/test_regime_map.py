@@ -1,0 +1,71 @@
+"""Regime map: does MPICH3's static selector pick the simulated winner?
+
+Beyond reproducing the paper, the simulator can interrogate the policy
+the paper works within: for each (P, size) cell, which broadcast
+actually wins on the Hornet model, and how often the MPICH3 thresholds
+(12288 / 524288 / pof2) land on that family. High agreement validates
+both the selector and the machine model; the disagreement cells mark
+where a paper like this one finds its opening.
+"""
+
+import pytest
+
+from repro.core import regime_map, selector_agreement, simulate_bcast
+from repro.machine import hornet
+from repro.util import Table, format_size
+
+from conftest import publish
+
+SPEC = hornet(nodes=8)
+RANKS = [8, 16, 17, 36, 64]
+SIZES = [2048, 12288, 65536, 262144, 524288, 2**21]
+
+
+def test_regime_map(benchmark):
+    cells = regime_map(SPEC, ranks=RANKS, sizes=SIZES)
+    table = Table(
+        ["P", "msg size", "winner", "MPICH3 picks", "agree"],
+        title="Broadcast regime map on the Hornet model",
+    )
+    for c in cells:
+        table.add_row(
+            c.nranks,
+            format_size(c.nbytes),
+            c.winner,
+            c.mpich_choice,
+            "yes" if c.selector_agrees else "NO",
+        )
+    agreement = selector_agreement(cells)
+    publish(
+        "regime_map",
+        table.render() + f"\n\nselector agreement: {agreement * 100:.0f}%",
+    )
+
+    # The static selector captures the bulk of the structure...
+    assert agreement >= 0.7
+    # ...and its anchor rows are exact: tiny messages -> binomial,
+    # long messages -> the ring family, at every rank count.
+    for c in cells:
+        if c.nbytes <= 2048:
+            assert c.winner == "binomial"
+        if c.nbytes >= 2**21:
+            assert c.winner.startswith("scatter_ring")
+    # Wherever the ring family wins *clearly* (by > 1%), the tuned
+    # variant is the winner. Near-ties between native and opt can go
+    # either way at mid sizes with eager chunks: max-min completion
+    # times are not monotone under flow removal, a ~0.5% model-noise
+    # effect the paper's own figure grid never samples.
+    for c in cells:
+        if not c.winner.startswith("scatter_ring"):
+            continue
+        runner_up = min(
+            (t for n, t in c.times.items() if n != c.winner), default=None
+        )
+        if runner_up is not None and runner_up > c.winner_time * 1.01:
+            assert c.winner == "scatter_ring_opt", (c.nranks, c.nbytes)
+
+    benchmark.pedantic(
+        lambda: simulate_bcast(SPEC, 36, 65536, algorithm="scatter_ring_opt").time,
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,59 @@
+"""Section IV transfer-count table: the paper's arithmetic, regenerated.
+
+The paper states the enclosed ring issues P*(P-1) transfers and works
+two examples: P=8 (56 -> 44, "reduces it by 12") and P=10 (90 -> 75,
+"reduced by 15"), and argues the saving grows with P. This bench
+regenerates that table for a grid of process counts, from both the
+closed forms and the actual extracted schedules, and asserts they agree.
+"""
+
+import pytest
+
+from repro.core import (
+    measure_traffic,
+    ring_transfers_native,
+    ring_transfers_tuned,
+    transfers_saved,
+)
+from repro.util import Table
+
+from conftest import publish
+
+GRID = [2, 4, 8, 10, 16, 17, 24, 32, 33, 64, 65, 100, 129, 256]
+
+
+def test_transfer_count_table(benchmark):
+    table = Table(
+        ["P", "native P(P-1)", "tuned", "saved", "saved %"],
+        formats=[None, None, None, None, ".1f"],
+        title="Ring-allgather message transfers (Section IV)",
+    )
+    for P in GRID:
+        native = ring_transfers_native(P)
+        tuned = ring_transfers_tuned(P)
+        saved = transfers_saved(P)
+        table.add_row(P, native, tuned, saved, 100.0 * saved / native if native else 0.0)
+    publish("table_transfers", table.render())
+
+    # Paper's worked examples.
+    assert ring_transfers_native(8) == 56 and ring_transfers_tuned(8) == 44
+    assert ring_transfers_native(10) == 90 and ring_transfers_tuned(10) == 75
+    # Savings grow with P (Section IV's deduction).
+    savings = [transfers_saved(P) for P in GRID]
+    assert savings == sorted(savings)
+
+    # Time the measured (schedule-extraction) path at a mid-size P.
+    def measured():
+        return measure_traffic("scatter_ring_opt", 64, 64 * 1024).ring_transfers
+
+    result = benchmark(measured)
+    assert result == ring_transfers_tuned(64)
+
+
+@pytest.mark.parametrize("P", [8, 10, 33, 64])
+def test_schedule_agrees_with_closed_form(P):
+    nbytes = 1024 * P
+    native = measure_traffic("scatter_ring_native", P, nbytes)
+    tuned = measure_traffic("scatter_ring_opt", P, nbytes)
+    assert native.ring_transfers == ring_transfers_native(P)
+    assert tuned.ring_transfers == ring_transfers_tuned(P)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Algorithm tour: how MPICH3 picks a broadcast, and where the paper's
+optimisation applies.
+
+Walks message sizes across the 12288-byte and 524288-byte thresholds for
+one power-of-two and one non-power-of-two communicator, showing which
+algorithm the MPICH3 selector picks, what the tuned selector changes,
+and the simulated time of every algorithm at each point — including the
+three-phase SMP-aware broadcast.
+
+Run:  python examples/algorithm_tour.py
+"""
+
+from repro.collectives import choose_bcast_name, classify_message
+from repro.core import simulate_bcast
+from repro.machine import hornet
+from repro.util import Table, format_size
+
+SIZES = [4096, 12288, 65536, 262144, 524288, 2**21]
+ALGOS = ["binomial", "scatter_ring_native", "scatter_ring_opt", "smp_opt"]
+
+
+def tour(nranks: int) -> None:
+    spec = hornet(nodes=8)
+    table = Table(
+        ["msg size", "class", "MPICH3 picks", "tuned picks"]
+        + [f"{a} (us)" for a in ALGOS],
+        formats=[None, None, None, None] + [".1f"] * len(ALGOS),
+        title=f"np={nranks} ({'pof2' if nranks & (nranks - 1) == 0 else 'npof2'})",
+    )
+    for size in SIZES:
+        row = [
+            format_size(size),
+            classify_message(size),
+            choose_bcast_name(size, nranks),
+            choose_bcast_name(size, nranks, tuned=True),
+        ]
+        for algo in ALGOS:
+            if algo == "scatter_rdbl" and nranks & (nranks - 1):
+                row.append(None)
+                continue
+            rec = simulate_bcast(spec, nranks, size, algorithm=algo)
+            row.append(rec.time * 1e6)
+        table.add_row(*row)
+    print(table)
+    print()
+
+
+def main() -> None:
+    print(
+        "MPICH3 selection rules: <12288B or <8 procs -> binomial; "
+        "medium+pof2 -> scatter+recursive-doubling; otherwise the ring "
+        "this paper tunes.\n"
+    )
+    tour(64)   # pof2: medium messages dodge the ring
+    tour(36)   # npof2: medium messages hit the ring -> mmsg-npof2 case
+    print(
+        "note how at np=36 every size from 12KiB up lands on the ring "
+        "path — exactly the mmsg-npof2 + lmsg regime the paper optimises."
+    )
+
+
+if __name__ == "__main__":
+    main()

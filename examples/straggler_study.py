@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Straggler study: how fragile is each broadcast to one slow rank?
+
+Real clusters are never uniform — OS noise, thermal throttling, a busy
+core. This example injects a single straggler (its copy engine scaled
+down 4x) at every position in turn and measures the broadcast slowdown
+for the binomial tree, the native ring and the tuned ring: trees only
+suffer when the straggler sits on the critical subtree path, while rings
+serialise through *every* rank and pay wherever it lands. The tuned ring
+never makes things worse.
+
+Run:  python examples/straggler_study.py
+"""
+
+from repro.collectives import (
+    bcast_binomial,
+    bcast_scatter_ring_native,
+    bcast_scatter_ring_opt,
+)
+from repro.machine import Machine, hornet
+from repro.mpi import Job
+from repro.util import Table, format_size, mean
+
+P, NBYTES, SLOWDOWN = 16, 1 << 20, 0.25
+ALGOS = {
+    "binomial": bcast_binomial,
+    "ring (native)": bcast_scatter_ring_native,
+    "ring (tuned)": bcast_scatter_ring_opt,
+}
+
+
+def bcast_time(algo, cpu_scale=None) -> float:
+    machine = Machine(hornet(nodes=2), nranks=P, cpu_scale=cpu_scale)
+
+    def factory(ctx):
+        def program():
+            return (yield from algo(ctx, NBYTES, 0))
+
+        return program()
+
+    return Job(machine, factory, working_set=NBYTES).run().time
+
+
+def main() -> None:
+    print(
+        f"broadcast of {format_size(NBYTES)} across {P} ranks; one rank's "
+        f"copy engine scaled to {SLOWDOWN}x, tried at every position\n"
+    )
+    table = Table(
+        ["algorithm", "clean (us)", "worst (us)", "mean slowdown", "worst slowdown"],
+        formats=[None, ".1f", ".1f", ".2f", ".2f"],
+        title="Single-straggler sensitivity",
+    )
+    for name, algo in ALGOS.items():
+        clean = bcast_time(algo)
+        times = [
+            bcast_time(algo, cpu_scale={straggler: SLOWDOWN})
+            for straggler in range(P)
+        ]
+        table.add_row(
+            name,
+            clean * 1e6,
+            max(times) * 1e6,
+            mean(times) / clean,
+            max(times) / clean,
+        )
+    print(table)
+    print(
+        "\nthe rings pay the straggler everywhere (every chunk passes every "
+        "rank); the tree only when it lands on a loaded subtree path."
+    )
+
+
+if __name__ == "__main__":
+    main()

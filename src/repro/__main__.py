@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three commands cover the common workflows without writing a script:
+
+* ``compare`` — native vs tuned broadcast at one point;
+* ``sweep``   — a bandwidth-vs-size table (one Figure-6/8-style panel);
+* ``traffic`` — Section IV transfer-count arithmetic for a grid of P.
+
+Examples::
+
+    python -m repro compare --nranks 64 --nbytes 1MiB
+    python -m repro sweep --nranks 129 --sizes 12KiB,64KiB,512KiB,1MiB
+    python -m repro traffic --procs 8,10,16,64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (
+    Sweep,
+    compare_bcast,
+    measure_traffic,
+    ring_transfers_native,
+    ring_transfers_tuned,
+    transfers_saved,
+)
+from .machine import hornet, ideal, laki
+from .util import Table
+
+_PRESETS = {"hornet": hornet, "laki": laki, "ideal": ideal}
+
+
+def _spec(args):
+    factory = _PRESETS[args.machine]
+    return factory(nodes=args.nodes) if args.nodes else factory()
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--machine",
+        choices=sorted(_PRESETS),
+        default="hornet",
+        help="machine preset (default: hornet)",
+    )
+    p.add_argument("--nodes", type=int, default=0, help="override node count")
+    p.add_argument(
+        "--placement",
+        choices=["blocked", "round_robin"],
+        default="blocked",
+        help="rank placement policy",
+    )
+
+
+def cmd_compare(args) -> int:
+    cmp = compare_bcast(
+        _spec(args), nranks=args.nranks, nbytes=args.nbytes, placement=args.placement
+    )
+    print(cmp.describe())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    sizes = args.sizes.split(",")
+    sweep = Sweep(
+        _spec(args),
+        sizes=sizes,
+        ranks=[args.nranks],
+        algorithms=["scatter_ring_native", "scatter_ring_opt"],
+        placement=args.placement,
+    )
+    print(
+        sweep.to_table(
+            args.nranks,
+            "scatter_ring_native",
+            "scatter_ring_opt",
+            title=f"np={args.nranks} on {args.machine}",
+        )
+    )
+    return 0
+
+
+def cmd_traffic(args) -> int:
+    procs = [int(p) for p in args.procs.split(",")]
+    table = Table(
+        ["P", "native", "tuned", "saved", "measured tuned"],
+        title="Ring-allgather transfers (closed form vs schedule)",
+    )
+    for P in procs:
+        measured = measure_traffic("scatter_ring_opt", P, 1024 * P).ring_transfers
+        table.add_row(
+            P,
+            ring_transfers_native(P),
+            ring_transfers_tuned(P),
+            transfers_saved(P),
+            measured,
+        )
+    print(table)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .collectives import ALGORITHMS
+
+    spec = _spec(args)
+    table = Table(
+        ["algorithm", "time (us)", "messages", "data"],
+        formats=[None, ".1f", None, None],
+        title=f"validated broadcasts: np={args.nranks}, {args.nbytes}, root={args.root}",
+    )
+    from .core import simulate_bcast
+    from .util import is_power_of_two as _pof2
+
+    failures = 0
+    for name in sorted(ALGORITHMS):
+        if name == "scatter_rdbl" and not _pof2(args.nranks):
+            table.add_row(name, None, None, "skipped (needs pof2)")
+            continue
+        try:
+            rec = simulate_bcast(
+                spec,
+                args.nranks,
+                args.nbytes,
+                algorithm=name,
+                root=args.root,
+                placement=args.placement,
+                validate=True,
+            )
+            table.add_row(name, rec.time * 1e6, rec.messages, "OK")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures += 1
+            table.add_row(name, None, None, f"FAILED: {exc}")
+    print(table)
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bandwidth-saving MPI broadcast reproduction (Zhou et al., ICPP 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="native vs tuned broadcast at one point")
+    _add_machine_args(p)
+    p.add_argument("--nranks", type=int, default=64)
+    p.add_argument("--nbytes", default="1MiB")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="bandwidth table over message sizes")
+    _add_machine_args(p)
+    p.add_argument("--nranks", type=int, default=64)
+    p.add_argument(
+        "--sizes", default="512KiB,1MiB,2MiB,4MiB", help="comma-separated sizes"
+    )
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("traffic", help="transfer-count table for process counts")
+    p.add_argument("--procs", default="8,10,16,64", help="comma-separated P values")
+    p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser(
+        "validate", help="data-checked run of every broadcast algorithm"
+    )
+    _add_machine_args(p)
+    p.add_argument("--nranks", type=int, default=16)
+    p.add_argument("--nbytes", default="64KiB")
+    p.add_argument("--root", type=int, default=0)
+    p.set_defaults(func=cmd_validate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

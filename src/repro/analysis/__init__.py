@@ -1,0 +1,29 @@
+"""Trace analysis: timelines, phase summaries, Chrome trace export."""
+
+from .timeline import (
+    TAG_NAMES,
+    MessageSpan,
+    message_spans,
+    phase_summary,
+    rank_activity,
+    concurrency_profile,
+    busiest_rank,
+    ascii_timeline,
+)
+from .critical_path import CriticalPath, critical_path
+from .chrometrace import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "TAG_NAMES",
+    "MessageSpan",
+    "message_spans",
+    "phase_summary",
+    "rank_activity",
+    "concurrency_profile",
+    "busiest_rank",
+    "ascii_timeline",
+    "CriticalPath",
+    "critical_path",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,5 @@
+"""Alternative executors for the same rank programs."""
+
+from .threads import ThreadBackend, run_threaded
+
+__all__ = ["ThreadBackend", "run_threaded"]

@@ -1,0 +1,32 @@
+"""Benchmark harness: figure/table experiment definitions and rendering."""
+
+from .figures import Experiment, fig6, fig7, fig8, NATIVE, OPT, fast_mode
+from .micro import PingPongPoint, pingpong, streaming_bandwidth
+from .baseline import BaselineDiff, save_baseline, load_baseline, compare_to_baseline
+from .runner import (
+    get_experiment,
+    render_bandwidth_table,
+    render_speedup_table,
+    render_plot,
+)
+
+__all__ = [
+    "Experiment",
+    "fig6",
+    "fig7",
+    "fig8",
+    "NATIVE",
+    "OPT",
+    "fast_mode",
+    "PingPongPoint",
+    "pingpong",
+    "streaming_bandwidth",
+    "BaselineDiff",
+    "save_baseline",
+    "load_baseline",
+    "compare_to_baseline",
+    "get_experiment",
+    "render_bandwidth_table",
+    "render_speedup_table",
+    "render_plot",
+]

@@ -1,0 +1,118 @@
+"""Bench baselines: persist results and detect regressions between runs.
+
+A production benchmark suite needs memory: ``save_baseline`` snapshots a
+set of named scalar metrics (bandwidths, times, counts) to JSON, and
+``compare_to_baseline`` diffs a new run against it with a relative
+tolerance — catching both performance regressions *and* accidental
+changes to the deterministic simulator (whose metrics should reproduce
+bit-for-bit; see docs/reproducing.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["BaselineDiff", "save_baseline", "load_baseline", "compare_to_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+def save_baseline(path: str, metrics: Dict[str, float], meta: Optional[dict] = None) -> None:
+    """Write ``{name: value}`` metrics (plus free-form *meta*) to JSON."""
+    if not metrics:
+        raise ConfigurationError("refusing to save an empty baseline")
+    clean = {}
+    for name, value in metrics.items():
+        try:
+            clean[name] = float(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"baseline metric {name!r} is not numeric: {value!r}"
+            ) from None
+    payload = {
+        "format": _FORMAT_VERSION,
+        "metrics": clean,
+        "meta": meta or {},
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_baseline(path: str) -> Dict[str, float]:
+    """Read a baseline's metrics; raises on unknown format."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"baseline {path!r} has format {payload.get('format')!r}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    return dict(payload["metrics"])
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of comparing a run against a baseline."""
+
+    matched: Dict[str, float] = field(default_factory=dict)  # name -> rel change
+    regressions: Dict[str, float] = field(default_factory=dict)
+    missing: List[str] = field(default_factory=list)  # in baseline, not in run
+    new: List[str] = field(default_factory=list)  # in run, not in baseline
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def describe(self) -> str:
+        lines = []
+        for name, change in sorted(self.regressions.items()):
+            lines.append(f"REGRESSION {name}: {change * 100:+.2f}%")
+        for name in self.missing:
+            lines.append(f"MISSING {name}")
+        for name in self.new:
+            lines.append(f"NEW {name}")
+        if not lines:
+            lines.append(f"all {len(self.matched)} metrics within tolerance")
+        return "\n".join(lines)
+
+
+def compare_to_baseline(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    rel_tol: float = 0.0,
+    higher_is_better: bool = True,
+) -> BaselineDiff:
+    """Diff *current* metrics against *baseline*.
+
+    A metric regresses when it moves in the bad direction by more than
+    ``rel_tol`` (relative). ``rel_tol=0`` demands bit-identical values —
+    the right setting for the deterministic simulator's own metrics.
+    """
+    if rel_tol < 0:
+        raise ConfigurationError(f"rel_tol must be >= 0, got {rel_tol}")
+    diff = BaselineDiff()
+    for name, base_value in baseline.items():
+        if name not in current:
+            diff.missing.append(name)
+            continue
+        value = float(current[name])
+        if base_value == 0:
+            # Signed pseudo-change: any move away from zero keeps its
+            # direction so the bad-direction test below still works.
+            change = 0.0 if value == 0 else float("inf") * (1 if value > 0 else -1)
+        else:
+            change = (value - base_value) / abs(base_value)
+        bad = -change if higher_is_better else change
+        if bad > rel_tol:
+            diff.regressions[name] = change
+        else:
+            diff.matched[name] = change
+    diff.new = sorted(set(current) - set(baseline))
+    return diff

@@ -1,0 +1,129 @@
+"""Point-to-point microbenchmarks (OSU-style) on the simulated machine.
+
+Real MPI installations are characterised with ping-pong latency and
+streaming-bandwidth microbenchmarks before anyone trusts collective
+numbers; these are the same probes for the simulator. They drive the
+full transport (matching, protocols, flows), so their results reflect
+every modelled effect — and :mod:`repro.core.fitting` turns them back
+into effective alpha/beta parameters, closing the calibration loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..machine import Machine, MachineSpec
+from ..mpi import Job
+from ..util import parse_size
+
+__all__ = ["PingPongPoint", "pingpong", "streaming_bandwidth"]
+
+MICRO_TAG = 12
+
+
+@dataclass(frozen=True)
+class PingPongPoint:
+    """One ping-pong measurement."""
+
+    nbytes: int
+    latency: float  # one-way seconds (round trip / 2)
+    bandwidth: float  # bytes/s at this size
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency * 1e6
+
+
+def _machine(spec_or_machine, nranks: int) -> Machine:
+    if isinstance(spec_or_machine, Machine):
+        return spec_or_machine
+    if isinstance(spec_or_machine, MachineSpec):
+        return Machine(spec_or_machine, nranks=nranks)
+    raise ConfigurationError(
+        f"expected MachineSpec or Machine, got {type(spec_or_machine).__name__}"
+    )
+
+
+def pingpong(
+    spec_or_machine: Union[MachineSpec, Machine],
+    sizes: Sequence,
+    src: int = 0,
+    dst: int = 1,
+    iterations: int = 10,
+) -> List[PingPongPoint]:
+    """Classic ping-pong: ``src`` and ``dst`` bounce each size
+    ``iterations`` times; one-way latency is half the averaged round
+    trip."""
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+    if src == dst:
+        raise ConfigurationError("ping-pong needs two distinct ranks")
+    parsed = [parse_size(s) for s in sizes]
+    if not parsed:
+        raise ConfigurationError("ping-pong needs at least one size")
+    machine = _machine(spec_or_machine, max(src, dst) + 1)
+
+    points = []
+    for nbytes in parsed:
+
+        def factory(ctx, nbytes=nbytes):
+            def program():
+                if ctx.rank == src:
+                    for _ in range(iterations):
+                        yield from ctx.send(dst, nbytes, tag=MICRO_TAG)
+                        yield from ctx.recv(dst, nbytes, tag=MICRO_TAG)
+                elif ctx.rank == dst:
+                    for _ in range(iterations):
+                        yield from ctx.recv(src, nbytes, tag=MICRO_TAG)
+                        yield from ctx.send(src, nbytes, tag=MICRO_TAG)
+
+            return program()
+
+        result = Job(machine, factory).run()
+        one_way = result.time / (2 * iterations)
+        points.append(
+            PingPongPoint(
+                nbytes=nbytes,
+                latency=one_way,
+                bandwidth=(nbytes / one_way) if one_way > 0 else float("inf"),
+            )
+        )
+    return points
+
+
+def streaming_bandwidth(
+    spec_or_machine: Union[MachineSpec, Machine],
+    nbytes: Union[int, str] = "1MiB",
+    window: int = 16,
+    src: int = 0,
+    dst: int = 1,
+) -> float:
+    """Unidirectional streaming bandwidth (bytes/s): ``window`` messages
+    in flight via isend/irecv, like OSU's ``osu_bw``."""
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    size = parse_size(nbytes)
+    machine = _machine(spec_or_machine, max(src, dst) + 1)
+
+    def factory(ctx):
+        def program():
+            if ctx.rank == src:
+                reqs = []
+                for _ in range(window):
+                    reqs.append((yield from ctx.isend(dst, size, tag=MICRO_TAG)))
+                yield from ctx.waitall(reqs)
+                # Close with a handshake so makespan covers delivery.
+                yield from ctx.recv(dst, 0, tag=MICRO_TAG)
+            elif ctx.rank == dst:
+                reqs = []
+                for _ in range(window):
+                    reqs.append((yield from ctx.irecv(src, size, tag=MICRO_TAG)))
+                yield from ctx.waitall(reqs)
+                yield from ctx.send(src, 0, tag=MICRO_TAG)
+
+        return program()
+
+    result = Job(machine, factory).run()
+    return window * size / result.time if result.time > 0 else float("inf")

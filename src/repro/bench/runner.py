@@ -1,0 +1,72 @@
+"""Bench harness: run experiments once per process, render paper-style
+output.
+
+``pytest-benchmark`` times a representative simulation per figure; the
+full sweep (which is what actually regenerates the figure's rows) runs
+once and is cached here so every assertion and rendering in a benchmark
+module reuses it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..util import Table, format_size, line_plot
+from .figures import NATIVE, OPT, Experiment
+
+__all__ = ["get_experiment", "render_bandwidth_table", "render_speedup_table", "render_plot"]
+
+_CACHE: Dict[str, Experiment] = {}
+
+
+def get_experiment(exp_id: str, factory: Callable[[], Experiment]) -> Experiment:
+    """Build + run an experiment once per process (results memoised)."""
+    exp = _CACHE.get(exp_id)
+    if exp is None:
+        exp = factory()
+        exp.run()
+        _CACHE[exp_id] = exp
+    return exp
+
+
+def render_bandwidth_table(exp: Experiment, nranks: int) -> str:
+    """The rows behind a Figure 6/8 panel."""
+    table = exp.sweep.to_table(
+        nranks,
+        NATIVE,
+        OPT,
+        title=f"{exp.title}\npaper: {exp.paper_claim}",
+    )
+    return table.render()
+
+
+def render_speedup_table(exp: Experiment) -> str:
+    """The rows behind Figure 7: one speedup per (size, nranks)."""
+    table = Table(
+        ["msg size"] + [f"np={p}" for p in exp.ranks_axis],
+        formats=[None] + [".3f"] * len(exp.ranks_axis),
+        title=f"{exp.title}\npaper: {exp.paper_claim}",
+    )
+    for n in exp.sizes_axis:
+        row = [format_size(n)]
+        for p in exp.ranks_axis:
+            cmp = exp.sweep.compare(p, n, NATIVE, OPT)
+            row.append(cmp.speedup)
+        table.add_row(*row)
+    return table.render()
+
+
+def render_plot(exp: Experiment, nranks: int) -> str:
+    """ASCII rendition of a bandwidth-vs-size figure panel."""
+    series = {
+        "native": exp.sweep.series(NATIVE, nranks),
+        "opt": exp.sweep.series(OPT, nranks),
+    }
+    return line_plot(
+        series,
+        logx=True,
+        logy=True,
+        title=f"{exp.exp_id} np={nranks}",
+        xlabel="Message Size (Bytes)",
+        ylabel="MB/s",
+    )

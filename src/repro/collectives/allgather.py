@@ -1,0 +1,193 @@
+"""Standalone MPI_Allgather: the operation the paper's optimisation
+tunes, exposed as a first-class collective.
+
+In the broadcast context the allgather runs over *pre-scattered* chunks;
+here we provide the general operation — every rank contributes its own
+``block_bytes``-sized block and ends with all ``P`` blocks in rank
+order — with the three classic algorithms MPICH chooses between:
+
+* ``allgather_ring``   — P-1 neighbour steps, bandwidth-optimal;
+* ``allgather_rdbl``   — log2 P exchange steps (power-of-two only);
+* ``allgather_bruck``  — ceil(log2 P) steps for any P, at the cost of a
+  local rotation (modelled as compute time).
+
+Block ``i`` lives at displacement ``i * block_bytes``; contribution
+blocks are in place before the call (rank ``r``'s block at its own
+displacement), matching ``MPI_Allgather``'s in-place convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+from ..util import ChunkSet, is_power_of_two
+
+__all__ = [
+    "AllgatherResult",
+    "allgather_ring",
+    "allgather_rdbl",
+    "allgather_bruck",
+    "ALLGATHER_ALGORITHMS",
+]
+
+AG_TAG = 5
+
+
+@dataclass
+class AllgatherResult:
+    """Per-rank outcome of a standalone allgather."""
+
+    algorithm: str
+    owned: ChunkSet
+    steps: int
+    sends: int
+    recvs: int
+
+    def assert_complete(self) -> None:
+        if not self.owned.is_full:
+            raise CollectiveError(
+                f"incomplete allgather: missing blocks {self.owned.missing()}"
+            )
+
+
+def _check(block_bytes: int) -> None:
+    if block_bytes < 0:
+        raise CollectiveError(f"negative block size {block_bytes}")
+
+
+def allgather_ring(ctx, block_bytes: int):
+    """Ring allgather: forward the newest block to the right each step."""
+    _check(block_bytes)
+    size = ctx.size
+    rank = ctx.rank
+    owned = ChunkSet(size, [rank])
+    if size == 1:
+        return AllgatherResult("ring", owned, 0, 0, 0)
+    left = (rank - 1 + size) % size
+    right = (rank + 1) % size
+    sends = recvs = 0
+    for i in range(1, size):
+        send_block = (rank - i + 1) % size
+        recv_block = (rank - i) % size
+        yield from ctx.sendrecv(
+            dst=right,
+            send_nbytes=block_bytes,
+            src=left,
+            recv_nbytes=block_bytes,
+            send_disp=send_block * block_bytes,
+            recv_disp=recv_block * block_bytes,
+            send_tag=AG_TAG,
+            recv_tag=AG_TAG,
+            chunks=(send_block,),
+        )
+        sends += 1
+        recvs += 1
+        owned.add_strict(recv_block)
+    return AllgatherResult("ring", owned, size - 1, sends, recvs)
+
+
+def allgather_rdbl(ctx, block_bytes: int):
+    """Recursive-doubling allgather (power-of-two communicators)."""
+    _check(block_bytes)
+    size = ctx.size
+    if not is_power_of_two(size):
+        raise CollectiveError(
+            f"recursive-doubling allgather needs a power-of-two size, got {size}"
+        )
+    rank = ctx.rank
+    owned = ChunkSet(size, [rank])
+    sends = recvs = 0
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        my_start = rank & ~(mask - 1)
+        their_start = partner & ~(mask - 1)
+        yield from ctx.sendrecv(
+            dst=partner,
+            send_nbytes=mask * block_bytes,
+            src=partner,
+            recv_nbytes=mask * block_bytes,
+            send_disp=my_start * block_bytes,
+            recv_disp=their_start * block_bytes,
+            send_tag=AG_TAG,
+            recv_tag=AG_TAG,
+            chunks=tuple(range(my_start, my_start + mask)),
+        )
+        sends += 1
+        recvs += 1
+        for b in range(their_start, their_start + mask):
+            owned.add_strict(b)
+        mask <<= 1
+    return AllgatherResult("rdbl", owned, size.bit_length() - 1, sends, recvs)
+
+
+def _spans(start: int, count: int, size: int):
+    """Cover blocks ``[start, start+count) mod size`` with <= 2 runs."""
+    start %= size
+    first = min(count, size - start)
+    spans = [(start, first)]
+    if count > first:
+        spans.append((0, count - first))
+    return spans
+
+
+def allgather_bruck(ctx, block_bytes: int):
+    """Bruck (dissemination) allgather: ceil(log2 P) steps for any P.
+
+    At step ``k`` every rank holds the contiguous-mod-P physical blocks
+    ``[rank, rank + 2^k)`` and trades with partners ``2^k`` away: it
+    sends that whole run to rank ``rank - 2^k`` and receives
+    ``[rank + 2^k, rank + 2^k + count)`` from rank ``rank + 2^k``
+    (``count`` clamps at the final step). Working directly in physical
+    block coordinates avoids Bruck's closing rotation; a wrapped run
+    costs a second message (<= 2 per step per direction).
+    """
+    _check(block_bytes)
+    size = ctx.size
+    rank = ctx.rank
+    owned = ChunkSet(size, [rank])
+    if size == 1:
+        return AllgatherResult("bruck", owned, 0, 0, 0)
+    sends = recvs = 0
+    steps = 0
+    mask = 1
+    while mask < size:
+        count = min(mask, size - mask)
+        dst = (rank - mask + size) % size
+        src = (rank + mask) % size
+        requests = []
+        for span_start, nblocks in _spans(rank, count, size):
+            req = yield from ctx.isend(
+                dst,
+                nblocks * block_bytes,
+                disp=span_start * block_bytes,
+                tag=AG_TAG,
+                chunks=tuple(range(span_start, span_start + nblocks)),
+            )
+            requests.append(req)
+            sends += 1
+        recv_blocks = []
+        for span_start, nblocks in _spans(rank + mask, count, size):
+            req = yield from ctx.irecv(
+                src,
+                nblocks * block_bytes,
+                disp=span_start * block_bytes,
+                tag=AG_TAG,
+            )
+            requests.append(req)
+            recvs += 1
+            recv_blocks.extend(range(span_start, span_start + nblocks))
+        yield from ctx.waitall(requests)
+        for b in recv_blocks:
+            owned.add_strict(b)
+        steps += 1
+        mask <<= 1
+    return AllgatherResult("bruck", owned, steps, sends, recvs)
+
+
+ALLGATHER_ALGORITHMS = {
+    "ring": allgather_ring,
+    "rdbl": allgather_rdbl,
+    "bruck": allgather_bruck,
+}

@@ -1,0 +1,86 @@
+"""Recursive-doubling allgather — MPICH's medium-message, power-of-two
+broadcast phase (the path the paper's mmsg-npof2 case *cannot* take,
+which is why npof2 falls back to the ring this library tunes).
+
+At exchange step ``k`` (mask ``2**k``) relative rank ``r`` trades its
+current aggregated block of ``2**k`` chunks with partner ``r xor 2**k``;
+after ``log2 P`` steps every rank holds all ``P`` chunks. Requires a
+power-of-two communicator (MPICH's non-pof2 handling falls back to other
+algorithms, mirrored by our selector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+from ..util import ChunkSet, is_power_of_two
+from .relative import relative_rank
+from .scatter import span_bytes, span_disp
+
+__all__ = ["RdResult", "allgather_recursive_doubling"]
+
+RD_TAG = 3
+
+
+@dataclass
+class RdResult:
+    """Outcome of the recursive-doubling phase on one rank."""
+
+    owned: ChunkSet
+    steps: int
+    sends: int
+    recvs: int
+
+
+def allgather_recursive_doubling(ctx, nbytes: int, root: int = 0):
+    """Allgather the scattered chunks by recursive doubling.
+
+    ``ctx.buffer`` must already hold this rank's scatter chunk at its
+    absolute displacement (and, for non-leaf scatter ranks, the subtree
+    surplus — which this algorithm, like MPICH, simply ignores: blocks
+    are exchanged by position, so surplus bytes are overwritten with
+    identical content).
+    """
+    size = ctx.size
+    if not is_power_of_two(size):
+        raise CollectiveError(
+            f"recursive-doubling allgather needs a power-of-two size, got {size}"
+        )
+    rel = relative_rank(ctx.rank, root, size)
+    owned = ChunkSet(size, [rel])
+    sends = recvs = 0
+
+    mask = 1
+    while mask < size:
+        partner_rel = rel ^ mask
+        partner = (partner_rel + root) % size
+        # Aggregated blocks: mine starts at rel with the low bits below
+        # `mask` cleared; the partner's is the sibling block.
+        my_start = rel & ~(mask - 1)
+        partner_start = partner_rel & ~(mask - 1)
+        send_bytes = span_bytes(nbytes, size, my_start, mask)
+        recv_bytes = span_bytes(nbytes, size, partner_start, mask)
+        yield from ctx.sendrecv(
+            dst=partner,
+            send_nbytes=send_bytes,
+            src=partner,
+            recv_nbytes=recv_bytes,
+            send_disp=span_disp(nbytes, size, my_start),
+            recv_disp=span_disp(nbytes, size, partner_start),
+            send_tag=RD_TAG,
+            recv_tag=RD_TAG,
+            chunks=tuple(range(my_start, my_start + mask)),
+        )
+        sends += 1
+        recvs += 1
+        for c in range(partner_start, partner_start + mask):
+            owned.add(c)
+        mask <<= 1
+
+    if not owned.is_full:
+        raise CollectiveError(
+            f"rank {ctx.rank}: recursive doubling finished missing chunks "
+            f"{owned.missing()}"
+        )  # pragma: no cover - structural impossibility
+    return RdResult(owned=owned, steps=size.bit_length() - 1, sends=sends, recvs=recvs)

@@ -1,0 +1,136 @@
+"""MPI_Allreduce: where a broadcast optimisation compounds.
+
+Two classic strategies:
+
+* ``allreduce_reduce_bcast`` — binomial reduce to a root, then broadcast
+  the result. The broadcast phase is pluggable, so the paper's tuned
+  ring accelerates *allreduce* for free in the lmsg / mmsg-npof2 regime
+  — the "future work" composition the bench
+  ``benchmarks/test_extension_bcasts.py`` quantifies.
+* ``allreduce_rabenseifner`` — recursive-halving reduce-scatter followed
+  by an allgather. After reduce-scatter every rank owns *exactly* its
+  own reduced chunk (no binomial-subtree surplus), so the enclosed ring
+  is already minimal there — a nice structural contrast with the
+  broadcast case that the tests pin down. Power-of-two only (MPICH's
+  non-pof2 handling folds extra ranks first; out of scope).
+
+Like :mod:`repro.collectives.gather`, reduction arithmetic is modelled
+as per-combine compute time (``reduce_bw`` bytes/s), not operand values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+from ..util import ChunkSet, is_power_of_two
+from .allgather_ring import ring_allgather_native
+from .bcast import bcast_scatter_ring_opt
+from .gather import reduce as binomial_reduce
+from .scatter import span_bytes, span_disp
+
+__all__ = ["AllreduceResult", "allreduce_reduce_bcast", "allreduce_rabenseifner"]
+
+RS_TAG = 13
+
+
+@dataclass
+class AllreduceResult:
+    """Per-rank outcome of an allreduce."""
+
+    strategy: str
+    sends: int
+    recvs: int
+
+
+def allreduce_reduce_bcast(
+    ctx, nbytes: int, reduce_bw: float = 0.0, bcast=bcast_scatter_ring_opt
+):
+    """Reduce to rank 0, then broadcast with the given algorithm."""
+    if nbytes < 0:
+        raise CollectiveError(f"negative allreduce size {nbytes}")
+    red = yield from binomial_reduce(ctx, nbytes, root=0, reduce_bw=reduce_bw)
+    bc = yield from bcast(ctx, nbytes, 0)
+    return AllreduceResult(
+        strategy="reduce_bcast",
+        sends=red.sends + bc.sends,
+        recvs=red.recvs + bc.recvs,
+    )
+
+
+def allreduce_rabenseifner(ctx, nbytes: int, reduce_bw: float = 0.0):
+    """Recursive-halving reduce-scatter + ring allgather (pof2 only).
+
+    Reduce-scatter round ``k`` (mask halving from P/2): exchange the
+    half of the *current window* the partner is responsible for, fold
+    the received half into the accumulator. After ``log2 P`` rounds rank
+    ``r`` holds the fully reduced chunk ``r``; the ring allgather then
+    redistributes — at that point every rank owns exactly one chunk, so
+    no enclosed-ring transfer is redundant.
+    """
+    if nbytes < 0:
+        raise CollectiveError(f"negative allreduce size {nbytes}")
+    if reduce_bw < 0:
+        raise CollectiveError(f"negative reduce_bw {reduce_bw}")
+    size = ctx.size
+    if not is_power_of_two(size):
+        raise CollectiveError(
+            f"Rabenseifner allreduce needs a power-of-two size, got {size}"
+        )
+    rank = ctx.rank
+    sends = recvs = 0
+
+    if size == 1:
+        return AllreduceResult("rabenseifner", 0, 0)
+
+    # --- reduce-scatter by recursive halving -------------------------
+    # Window of chunks this rank is still responsible for.
+    win_start, win_len = 0, size
+    mask = size >> 1
+    while mask >= 1:
+        partner = rank ^ mask
+        # The window splits in two; I keep the half containing my chunk.
+        keep_low = (rank & mask) == 0
+        low = (win_start, win_len // 2)
+        high = (win_start + win_len // 2, win_len // 2)
+        mine, theirs = (low, high) if keep_low else (high, low)
+        send_bytes = span_bytes(nbytes, size, theirs[0], theirs[1])
+        recv_bytes = span_bytes(nbytes, size, mine[0], mine[1])
+        yield from ctx.sendrecv(
+            dst=partner,
+            send_nbytes=send_bytes,
+            src=partner,
+            recv_nbytes=recv_bytes,
+            send_disp=span_disp(nbytes, size, theirs[0]),
+            recv_disp=span_disp(nbytes, size, mine[0]),
+            send_tag=RS_TAG,
+            recv_tag=RS_TAG,
+            chunks=tuple(range(theirs[0], theirs[0] + theirs[1])),
+        )
+        sends += 1
+        recvs += 1
+        if reduce_bw > 0.0 and recv_bytes > 0:
+            yield from ctx.compute(recv_bytes / reduce_bw)
+        win_start, win_len = mine
+        mask >>= 1
+
+    if (win_start, win_len) != (rank, 1):
+        raise CollectiveError(
+            f"reduce-scatter left rank {rank} with window "
+            f"[{win_start}, {win_start + win_len})"
+        )  # pragma: no cover - structural impossibility
+
+    # --- allgather the reduced chunks ---------------------------------
+    # Every rank owns exactly chunk `rank`, so the enclosed ring is
+    # already redundancy-free here (the tuned ring's skips only exist
+    # when a binomial scatter leaves subtree surplus behind).
+    ag = yield from ring_allgather_native(
+        ctx, nbytes, root=0, owned=ChunkSet(size, [rank])
+    )
+    if ag.redundant_recvs != 0:
+        raise CollectiveError(
+            "Rabenseifner allgather redelivered a chunk"
+        )  # pragma: no cover - structural impossibility
+    sends += ag.sends
+    recvs += ag.recvs
+    return AllreduceResult("rabenseifner", sends, recvs)

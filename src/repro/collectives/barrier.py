@@ -1,0 +1,51 @@
+"""Dissemination barrier — MPICH's default ``MPI_Barrier``.
+
+The paper's measurement loop synchronises "with a MPI barrier before
+reaching the broadcast interface"; the bench harness and the repeated-
+iteration driver use this implementation to do the same.
+
+``ceil(log2 P)`` rounds; in round ``k`` every rank sends a zero-byte
+token to ``(rank + 2^k) mod P`` and receives one from
+``(rank - 2^k) mod P``. After the last round every rank has (transitively)
+heard from every other rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util import ceil_log2
+
+__all__ = ["BarrierResult", "barrier"]
+
+BARRIER_TAG = 6
+
+
+@dataclass
+class BarrierResult:
+    """Per-rank outcome of one barrier."""
+
+    rounds: int
+
+
+def barrier(ctx):
+    """Dissemination barrier over the context's communicator."""
+    size = ctx.size
+    if size == 1:
+        return BarrierResult(rounds=0)
+    rank = ctx.rank
+    rounds = ceil_log2(size)
+    mask = 1
+    while mask < size:
+        dst = (rank + mask) % size
+        src = (rank - mask + size) % size
+        yield from ctx.sendrecv(
+            dst=dst,
+            send_nbytes=0,
+            src=src,
+            recv_nbytes=0,
+            send_tag=BARRIER_TAG,
+            recv_tag=BARRIER_TAG,
+        )
+        mask <<= 1
+    return BarrierResult(rounds=rounds)

@@ -1,0 +1,92 @@
+"""Pipelined chain (segmented) broadcast.
+
+The classic bandwidth-optimal alternative to scatter-allgather schemes:
+ranks form a chain in relative order and the message flows through it in
+``segment_bytes`` pieces. Interior ranks pre-post the receive for the
+next segment while forwarding the current one (double buffering), so in
+steady state every link of the chain is busy — makespan approaches
+``(P - 2 + nseg) * t_segment``.
+
+Included as the extension/ablation point the paper's related work
+gestures at: for very long messages on a chain-friendly placement it is
+competitive with the ring designs, but it lacks their robustness to
+placement and its pipeline depth must be tuned per message size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+from ..util.chunking import chunk_count, chunk_disp
+from .relative import relative_rank
+
+__all__ = ["ChainResult", "bcast_chain"]
+
+CHAIN_TAG = 11
+
+
+@dataclass
+class ChainResult:
+    """Per-rank outcome of a pipelined chain broadcast."""
+
+    segments: int
+    sends: int
+    recvs: int
+
+
+def _segments(nbytes: int, segment_bytes: int):
+    """(disp, count) pieces covering the buffer."""
+    if nbytes == 0:
+        return []
+    nseg = -(-nbytes // segment_bytes)
+    return [
+        (chunk_disp(nbytes, nseg, i), chunk_count(nbytes, nseg, i))
+        for i in range(nseg)
+    ]
+
+
+def bcast_chain(ctx, nbytes: int, root: int = 0, segment_bytes: int = 65536):
+    """Broadcast via a pipelined relative-rank chain."""
+    if nbytes < 0:
+        raise CollectiveError(f"negative broadcast size {nbytes}")
+    if segment_bytes < 1:
+        raise CollectiveError(f"segment_bytes must be >= 1, got {segment_bytes}")
+    size = ctx.size
+    rel = relative_rank(ctx.rank, root, size)
+    segments = _segments(nbytes, segment_bytes)
+    sends = recvs = 0
+
+    if size == 1 or not segments:
+        return ChainResult(len(segments), 0, 0)
+
+    right = ((rel + 1) + root) % size if rel + 1 < size else None
+    left = ((rel - 1) + root) % size if rel > 0 else None
+
+    if left is None:
+        # Root: stream every segment to the first link.
+        for disp, count in segments:
+            yield from ctx.send(right, count, disp=disp, tag=CHAIN_TAG)
+            sends += 1
+    elif right is None:
+        # Chain tail: drain.
+        for disp, count in segments:
+            yield from ctx.recv(left, count, disp=disp, tag=CHAIN_TAG)
+            recvs += 1
+    else:
+        # Interior: double-buffered receive + forward.
+        pending = []
+        disp0, count0 = segments[0]
+        pending.append((yield from ctx.irecv(left, count0, disp=disp0, tag=CHAIN_TAG)))
+        for i, (disp, count) in enumerate(segments):
+            yield from ctx.wait(pending[i])
+            recvs += 1
+            if i + 1 < len(segments):
+                ndisp, ncount = segments[i + 1]
+                pending.append(
+                    (yield from ctx.irecv(left, ncount, disp=ndisp, tag=CHAIN_TAG))
+                )
+            yield from ctx.send(right, count, disp=disp, tag=CHAIN_TAG)
+            sends += 1
+
+    return ChainResult(len(segments), sends, recvs)

@@ -1,0 +1,161 @@
+"""All-to-One collectives: MPI_Gather and MPI_Reduce.
+
+The paper's introduction frames broadcast within the MPI collective
+taxonomy (One-to-All, All-to-One, All-to-All); these are the All-to-One
+members, implemented the way MPICH does for short/medium payloads — a
+binomial tree rooted (in relative-rank space) at the root:
+
+* ``gather``: leaves send their block up; inner nodes forward their
+  accumulated subtree (own block + descendants) one parent hop at a
+  time. Rank ``rel`` contributes block ``rel``; the root ends with all
+  ``P`` blocks in relative order.
+* ``reduce``: same tree, but each hop carries a full ``nbytes`` vector
+  and the parent pays a modelled combine cost (``nbytes / reduce_bw``
+  seconds per child) — the classic latency/compute trade of tree
+  reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+from ..util import ChunkSet, next_power_of_two
+from .relative import relative_rank, subtree_chunks
+from .scatter import span_bytes, span_disp
+
+__all__ = ["GatherResult", "gather", "ReduceResult", "reduce"]
+
+GATHER_TAG = 7
+REDUCE_TAG = 8
+
+
+@dataclass
+class GatherResult:
+    """Per-rank outcome of a binomial gather."""
+
+    gathered: ChunkSet  # blocks present at this rank at the end
+    sends: int
+    recvs: int
+
+
+def gather(ctx, block_bytes: int, root: int = 0):
+    """Binomial-tree gather of one ``block_bytes`` block per rank.
+
+    The buffer layout is the full ``P * block_bytes`` gather buffer on
+    every rank (only the root's content is meaningful afterwards, as in
+    MPI); block ``rel`` lives at relative displacement ``rel *
+    block_bytes``, so subtree payloads are contiguous (modulo the
+    trailing clamp) exactly like the scatter's.
+    """
+    if block_bytes < 0:
+        raise CollectiveError(f"negative block size {block_bytes}")
+    size = ctx.size
+    rel = relative_rank(ctx.rank, root, size)
+    nbytes = block_bytes * size
+    extent = subtree_chunks(rel, size)
+    gathered = ChunkSet(size, [rel])
+    sends = recvs = 0
+
+    if size == 1:
+        return GatherResult(gathered, 0, 0)
+
+    # Children report in smallest-mask-first (mirror of scatter order):
+    # child rel + m exists for each m below the branch mask.
+    mask = 1
+    branch = next_power_of_two(size) if rel == 0 else (rel & -rel)
+    while mask < branch:
+        child_rel = rel + mask
+        if child_rel < size:
+            child_extent = min(mask, size - child_rel)
+            recv_bytes = span_bytes(nbytes, size, child_rel, child_extent)
+            if recv_bytes > 0:
+                child = (child_rel + root) % size
+                yield from ctx.recv(
+                    child,
+                    recv_bytes,
+                    disp=span_disp(nbytes, size, child_rel),
+                    tag=GATHER_TAG,
+                )
+                recvs += 1
+            for b in range(child_rel, child_rel + child_extent):
+                gathered.add_strict(b)
+        mask <<= 1
+
+    # Then forward the whole accumulated subtree to the parent.
+    if rel != 0:
+        parent_rel = rel - branch
+        parent = (parent_rel + root) % size
+        send_bytes = span_bytes(nbytes, size, rel, extent)
+        if send_bytes > 0:
+            yield from ctx.send(
+                parent,
+                send_bytes,
+                disp=span_disp(nbytes, size, rel),
+                tag=GATHER_TAG,
+                chunks=tuple(range(rel, rel + extent)),
+            )
+            sends += 1
+
+    if rel == 0 and not gathered.is_full:
+        raise CollectiveError(
+            f"gather root missing blocks {gathered.missing()}"
+        )  # pragma: no cover - structural impossibility
+    return GatherResult(gathered, sends, recvs)
+
+
+@dataclass
+class ReduceResult:
+    """Per-rank outcome of a binomial reduce."""
+
+    contributions: int  # vectors combined at this rank (incl. its own)
+    sends: int
+    recvs: int
+
+
+def reduce(ctx, nbytes: int, root: int = 0, reduce_bw: float = 0.0):
+    """Binomial-tree reduce of one ``nbytes`` vector per rank.
+
+    Every hop moves a full vector; a parent combines each received child
+    vector into its accumulator, paying ``nbytes / reduce_bw`` seconds
+    of compute per child when ``reduce_bw`` (bytes/s) is positive. The
+    root's result conceptually holds the reduction of all ``P``
+    contributions (we track contribution *counts*, not arithmetic — the
+    simulator carries bytes, not operand values).
+    """
+    if nbytes < 0:
+        raise CollectiveError(f"negative reduce size {nbytes}")
+    if reduce_bw < 0:
+        raise CollectiveError(f"negative reduce_bw {reduce_bw}")
+    size = ctx.size
+    rel = relative_rank(ctx.rank, root, size)
+    contributions = 1
+    sends = recvs = 0
+
+    if size == 1:
+        return ReduceResult(contributions, 0, 0)
+
+    mask = 1
+    branch = next_power_of_two(size) if rel == 0 else (rel & -rel)
+    while mask < branch:
+        child_rel = rel + mask
+        if child_rel < size:
+            child = (child_rel + root) % size
+            yield from ctx.recv(child, nbytes, disp=0, tag=REDUCE_TAG)
+            recvs += 1
+            # The child already folded its whole subtree into one vector.
+            contributions += min(mask, size - child_rel)
+            if reduce_bw > 0.0 and nbytes > 0:
+                yield from ctx.compute(nbytes / reduce_bw)
+        mask <<= 1
+
+    if rel != 0:
+        parent = ((rel - branch) + root) % size
+        yield from ctx.send(parent, nbytes, disp=0, tag=REDUCE_TAG)
+        sends += 1
+
+    if rel == 0 and contributions != size:
+        raise CollectiveError(
+            f"reduce root combined {contributions} of {size} contributions"
+        )  # pragma: no cover - structural impossibility
+    return ReduceResult(contributions, sends, recvs)

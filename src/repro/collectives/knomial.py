@@ -1,0 +1,83 @@
+"""K-nomial tree broadcast — the binomial tree's radix generalisation.
+
+Modern MPICH exposes ``MPIR_Bcast_intra_tree`` with a configurable
+branching factor: radix ``k`` trades tree depth (``ceil(log_k P)``
+rounds) against root fan-out (``k - 1`` sequential child sends per
+level). ``k = 2`` reproduces the classic binomial tree exactly — tested
+against :mod:`repro.collectives.binomial` — and the radix ablation bench
+shows where higher radices win (latency-bound small messages) and lose
+(bandwidth-bound large ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+from .relative import relative_rank
+
+__all__ = ["KnomialResult", "bcast_knomial"]
+
+KNOMIAL_TAG = 10
+
+
+@dataclass
+class KnomialResult:
+    """Per-rank outcome of a k-nomial broadcast."""
+
+    radix: int
+    sends: int
+    recvs: int
+    rounds: int
+
+
+def knomial_rounds(size: int, radix: int) -> int:
+    """Tree depth: ceil(log_radix(size))."""
+    rounds, reach = 0, 1
+    while reach < size:
+        reach *= radix
+        rounds += 1
+    return rounds
+
+
+def bcast_knomial(ctx, nbytes: int, root: int = 0, radix: int = 2):
+    """Broadcast the full buffer down a radix-``k`` tree."""
+    if nbytes < 0:
+        raise CollectiveError(f"negative broadcast size {nbytes}")
+    if radix < 2:
+        raise CollectiveError(f"k-nomial radix must be >= 2, got {radix}")
+    size = ctx.size
+    rel = relative_rank(ctx.rank, root, size)
+    sends = recvs = 0
+
+    # Climb: find the branch level (lowest non-zero base-k digit of rel).
+    mask = 1
+    if rel != 0:
+        while mask < size:
+            digit = (rel // mask) % radix
+            if digit != 0:
+                parent_rel = rel - digit * mask
+                parent = (parent_rel + root) % size
+                yield from ctx.recv(parent, nbytes, disp=0, tag=KNOMIAL_TAG)
+                recvs += 1
+                break
+            mask *= radix
+    else:
+        while mask < size:
+            mask *= radix
+
+    # Descend: children at every level strictly below the branch level,
+    # farthest subtrees first (largest level, then largest digit).
+    level = mask // radix
+    while level >= 1:
+        for j in range(radix - 1, 0, -1):
+            child_rel = rel + j * level
+            if child_rel < size:
+                child = (child_rel + root) % size
+                yield from ctx.send(child, nbytes, disp=0, tag=KNOMIAL_TAG)
+                sends += 1
+        level //= radix
+
+    return KnomialResult(
+        radix=radix, sends=sends, recvs=recvs, rounds=knomial_rounds(size, radix)
+    )

@@ -1,0 +1,150 @@
+"""MPI_Reduce_scatter_block: reduce a vector, leave chunk r on rank r.
+
+The building block of Rabenseifner's allreduce (and of ring allreduce in
+ML frameworks). Two algorithms:
+
+* ``reduce_scatter_halving`` — recursive halving, ``log2 P`` rounds of
+  half-window exchanges (power-of-two only): bandwidth ~ n (P-1)/P per
+  rank, the textbook optimum.
+* ``reduce_scatter_ring`` — P-1 ring steps, each passing a one-chunk
+  partial sum left-to-right so chunk ``r`` accumulates all P
+  contributions by the time it reaches rank ``r`` (any P): the scheme
+  ring-allreduce popularised.
+
+Reduction arithmetic is modelled as combine time (``reduce_bw``); the
+``contributions`` counter tracks how many ranks' values are folded into
+this rank's final chunk (must be P).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+from ..util import is_power_of_two
+from .scatter import span_bytes, span_disp
+
+__all__ = ["ReduceScatterResult", "reduce_scatter_halving", "reduce_scatter_ring"]
+
+RSC_TAG = 16
+
+
+@dataclass
+class ReduceScatterResult:
+    """Per-rank outcome: rank r ends owning reduced chunk r."""
+
+    algorithm: str
+    chunk: int
+    contributions: int
+    sends: int
+    recvs: int
+
+    def assert_fully_reduced(self, size: int) -> None:
+        if self.contributions != size:
+            raise CollectiveError(
+                f"chunk {self.chunk} folded {self.contributions} of {size} "
+                "contributions"
+            )
+
+
+def _check(nbytes: int, reduce_bw: float) -> None:
+    if nbytes < 0:
+        raise CollectiveError(f"negative reduce_scatter size {nbytes}")
+    if reduce_bw < 0:
+        raise CollectiveError(f"negative reduce_bw {reduce_bw}")
+
+
+def reduce_scatter_halving(ctx, nbytes: int, reduce_bw: float = 0.0):
+    """Recursive halving (power-of-two communicators)."""
+    _check(nbytes, reduce_bw)
+    size = ctx.size
+    if not is_power_of_two(size):
+        raise CollectiveError(
+            f"recursive halving needs a power-of-two size, got {size}"
+        )
+    rank = ctx.rank
+    sends = recvs = 0
+    if size == 1:
+        return ReduceScatterResult("halving", 0, 1, 0, 0)
+
+    win_start, win_len = 0, size
+    # Each exchanged half carries partial sums of 2^round contributions;
+    # my kept half ends up with all of them folded in.
+    contributions = 1
+    mask = size >> 1
+    while mask >= 1:
+        partner = rank ^ mask
+        keep_low = (rank & mask) == 0
+        low = (win_start, win_len // 2)
+        high = (win_start + win_len // 2, win_len // 2)
+        mine, theirs = (low, high) if keep_low else (high, low)
+        send_bytes = span_bytes(nbytes, size, theirs[0], theirs[1])
+        recv_bytes = span_bytes(nbytes, size, mine[0], mine[1])
+        yield from ctx.sendrecv(
+            dst=partner,
+            send_nbytes=send_bytes,
+            src=partner,
+            recv_nbytes=recv_bytes,
+            send_disp=span_disp(nbytes, size, theirs[0]),
+            recv_disp=span_disp(nbytes, size, mine[0]),
+            send_tag=RSC_TAG,
+            recv_tag=RSC_TAG,
+            chunks=tuple(range(theirs[0], theirs[0] + theirs[1])),
+        )
+        sends += 1
+        recvs += 1
+        contributions *= 2  # partner's half carried as many folds as mine
+        if reduce_bw > 0.0 and recv_bytes > 0:
+            yield from ctx.compute(recv_bytes / reduce_bw)
+        win_start, win_len = mine
+        mask >>= 1
+
+    result = ReduceScatterResult("halving", rank, contributions, sends, recvs)
+    result.assert_fully_reduced(size)
+    return result
+
+
+def reduce_scatter_ring(ctx, nbytes: int, reduce_bw: float = 0.0):
+    """Ring reduce-scatter (any P): partial sums circulate right.
+
+    At step ``s`` (1-based) rank ``r`` sends the partial sum of chunk
+    ``(r - s + 1) mod P`` (accumulated over the ``s`` ranks it has
+    visited) to ``r + 1`` and folds its own value into the arriving
+    partial of chunk ``(r - s) mod P``. After P-1 steps chunk ``r`` sits
+    fully reduced on rank ``r``.
+    """
+    _check(nbytes, reduce_bw)
+    size = ctx.size
+    rank = ctx.rank
+    sends = recvs = 0
+    if size == 1:
+        return ReduceScatterResult("ring", 0, 1, 0, 0)
+
+    left = (rank - 1 + size) % size
+    right = (rank + 1) % size
+    for step in range(1, size):
+        send_chunk = (rank - step + 1) % size
+        recv_chunk = (rank - step) % size
+        send_bytes = span_bytes(nbytes, size, send_chunk, 1)
+        recv_bytes = span_bytes(nbytes, size, recv_chunk, 1)
+        yield from ctx.sendrecv(
+            dst=right,
+            send_nbytes=send_bytes,
+            src=left,
+            recv_nbytes=recv_bytes,
+            send_disp=span_disp(nbytes, size, send_chunk),
+            recv_disp=span_disp(nbytes, size, recv_chunk),
+            send_tag=RSC_TAG,
+            recv_tag=RSC_TAG,
+            chunks=(send_chunk,),
+        )
+        sends += 1
+        recvs += 1
+        if reduce_bw > 0.0 and recv_bytes > 0:
+            yield from ctx.compute(recv_bytes / reduce_bw)
+
+    # The partial that just arrived (chunk rank, having visited all P-1
+    # other ranks) plus my own contribution is fully reduced.
+    result = ReduceScatterResult("ring", rank, size, sends, recvs)
+    result.assert_fully_reduced(size)
+    return result

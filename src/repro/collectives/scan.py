@@ -1,0 +1,103 @@
+"""MPI_Scan: inclusive prefix reduction.
+
+Completes the collective taxonomy the paper's introduction cites. Two
+algorithms:
+
+* ``scan_linear`` — rank r waits for rank r-1's prefix, folds its own
+  vector, forwards to r+1. P-1 sequential hops: trivially correct, the
+  latency baseline.
+* ``scan_recursive_doubling`` — the classic log-round prefix network:
+  in round ``k`` rank r sends its *accumulated* value to ``r + 2^k`` and
+  folds what arrives from ``r - 2^k`` into its prefix. ``ceil(log2 P)``
+  rounds for any P.
+
+As with reduce, arithmetic is modelled as combine time (``reduce_bw``),
+not operand values; ``contributions`` counts how many ranks' vectors are
+folded into the result (must equal ``rank + 1`` for an inclusive scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveError
+
+__all__ = ["ScanResult", "scan_linear", "scan_recursive_doubling"]
+
+SCAN_TAG = 15
+
+
+@dataclass
+class ScanResult:
+    """Per-rank outcome of an inclusive scan."""
+
+    algorithm: str
+    contributions: int  # ranks folded into this rank's prefix
+    sends: int
+    recvs: int
+
+    def assert_inclusive(self, rank: int) -> None:
+        if self.contributions != rank + 1:
+            raise CollectiveError(
+                f"rank {rank} prefix folded {self.contributions} contributions, "
+                f"expected {rank + 1}"
+            )
+
+
+def _check(nbytes: int, reduce_bw: float) -> None:
+    if nbytes < 0:
+        raise CollectiveError(f"negative scan size {nbytes}")
+    if reduce_bw < 0:
+        raise CollectiveError(f"negative reduce_bw {reduce_bw}")
+
+
+def scan_linear(ctx, nbytes: int, reduce_bw: float = 0.0):
+    """Chain scan: prefix flows rank 0 -> 1 -> ... -> P-1."""
+    _check(nbytes, reduce_bw)
+    size = ctx.size
+    rank = ctx.rank
+    sends = recvs = 0
+    contributions = 1
+    if rank > 0:
+        yield from ctx.recv(rank - 1, nbytes, tag=SCAN_TAG)
+        recvs += 1
+        contributions += rank  # the full upstream prefix arrives folded
+        if reduce_bw > 0.0 and nbytes > 0:
+            yield from ctx.compute(nbytes / reduce_bw)
+    if rank + 1 < size:
+        yield from ctx.send(rank + 1, nbytes, tag=SCAN_TAG)
+        sends += 1
+    return ScanResult("linear", contributions, sends, recvs)
+
+
+def scan_recursive_doubling(ctx, nbytes: int, reduce_bw: float = 0.0):
+    """Log-round prefix network (Hillis-Steele over ranks)."""
+    _check(nbytes, reduce_bw)
+    size = ctx.size
+    rank = ctx.rank
+    sends = recvs = 0
+    contributions = 1  # my own vector
+
+    mask = 1
+    while mask < size:
+        dst = rank + mask
+        src = rank - mask
+        requests = []
+        if dst < size:
+            requests.append((yield from ctx.isend(dst, nbytes, tag=SCAN_TAG)))
+            sends += 1
+        if src >= 0:
+            requests.append((yield from ctx.irecv(src, nbytes, tag=SCAN_TAG)))
+            recvs += 1
+        if requests:
+            yield from ctx.waitall(requests)
+        if src >= 0:
+            # The sender's accumulator covered min(mask, src + 1) ranks.
+            contributions += min(mask, src + 1)
+            if reduce_bw > 0.0 and nbytes > 0:
+                yield from ctx.compute(nbytes / reduce_bw)
+        mask <<= 1
+
+    result = ScanResult("recursive_doubling", contributions, sends, recvs)
+    result.assert_inclusive(rank)
+    return result

@@ -1,0 +1,264 @@
+"""Schedule extraction: run algorithm programs without a clock.
+
+The :class:`ScheduleExecutor` drives the same generator programs the DES
+runtime runs, but with zero-cost buffered sends and no timing model. It
+records every transfer (source, destination, bytes, chunk ids) so the
+paper's transfer-count arithmetic — 56 vs 44 at P=8, 90 vs 75 at P=10,
+``P*(P-1) - (S - P)`` in general — can be measured exactly, cheaply,
+for any process count.
+
+Blocking semantics: sends are buffered (they never block, like an eager
+protocol with infinite buffering), receives block until a matching send
+was issued. This preserves the data-flow dependencies that determine
+*what* is transferred while ignoring *when* — which is all counting
+needs. Programs that deadlock even under buffered sends (receive cycles)
+are reported as :class:`~repro.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError, TruncationError
+from ..mpi.comm import Communicator
+from ..mpi.context import RankContext
+from ..mpi.matching import Envelope, MatchingEngine
+from ..mpi.ops import ComputeOp, IrecvOp, IsendOp, RecvOp, SendOp, WaitOp
+from ..mpi.request import Request, Status
+from ..sim import Proc
+
+__all__ = ["RecordedSend", "ScheduleResult", "ScheduleExecutor", "extract_schedule"]
+
+_BLOCKED = object()
+
+
+@dataclass(frozen=True)
+class RecordedSend:
+    """One transfer in the extracted schedule (global ranks)."""
+
+    order: int
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+    chunks: Tuple[int, ...]
+
+
+@dataclass
+class ScheduleResult:
+    """Everything the counting run observed."""
+
+    sends: List[RecordedSend]
+    rank_results: List
+    nranks: int
+    placement: Optional[object] = None
+
+    @property
+    def transfers(self) -> int:
+        return len(self.sends)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.nbytes for s in self.sends)
+
+    def transfers_by_level(self) -> Tuple[int, int]:
+        """(intra_node, inter_node) transfer counts; needs a placement."""
+        if self.placement is None:
+            raise SimulationError("transfers_by_level needs a placement")
+        intra = sum(
+            1
+            for s in self.sends
+            if self.placement.node_of(s.src) == self.placement.node_of(s.dst)
+        )
+        return intra, len(self.sends) - intra
+
+    def sends_from(self, rank: int) -> List[RecordedSend]:
+        return [s for s in self.sends if s.src == rank]
+
+    def sends_to(self, rank: int) -> List[RecordedSend]:
+        return [s for s in self.sends if s.dst == rank]
+
+
+class _ParkedRecv:
+    __slots__ = ("req",)
+
+    def __init__(self, req):
+        self.req = req
+
+
+class _ParkedWait:
+    __slots__ = ("requests", "remaining")
+
+    def __init__(self, requests, remaining):
+        self.requests = requests
+        self.remaining = remaining
+
+
+class ScheduleExecutor:
+    """Deterministic zero-time executor for rank programs."""
+
+    def __init__(
+        self,
+        nranks: int,
+        program_factory: Callable[[RankContext], object],
+        comm: Optional[Communicator] = None,
+        buffers: Optional[List] = None,
+        placement=None,
+    ):
+        self.comm = comm if comm is not None else Communicator.world(nranks)
+        self.placement = placement
+        self.sends: List[RecordedSend] = []
+        self.matching = [MatchingEngine(r) for r in range(nranks)]
+        self.procs: List[Proc] = []
+        self.contexts: List[RankContext] = []
+        self._parked = [None] * self.comm.size
+        self._ready = deque()
+        self._wake = {}  # global rank -> local index, for wakeups
+        for local in range(self.comm.size):
+            glob = self.comm.to_global(local)
+            buf = buffers[local] if buffers is not None else None
+            ctx = RankContext(glob, self.comm, buffer=buf)
+            self.contexts.append(ctx)
+            self.procs.append(Proc(f"rank{local}", program_factory(ctx)))
+            self._wake[glob] = local
+
+    # -- driving ---------------------------------------------------------
+    def run(self) -> ScheduleResult:
+        for idx in range(len(self.procs)):
+            self._ready.append((idx, None))
+        while self._ready:
+            idx, value = self._ready.popleft()
+            self._advance(idx, value)
+        unfinished = [repr(p) for p in self.procs if not p.finished]
+        if unfinished:
+            unfinished.extend(
+                eng.describe_blockage()
+                for eng in self.matching
+                if eng.pending_recvs or eng.pending_unexpected
+            )
+            raise DeadlockError(unfinished)
+        return ScheduleResult(
+            sends=self.sends,
+            rank_results=[p.result for p in self.procs],
+            nranks=self.comm.size,
+            placement=self.placement,
+        )
+
+    def _advance(self, idx: int, value) -> None:
+        proc = self.procs[idx]
+        while True:
+            outcome = proc.advance(value)
+            if outcome.done:
+                return
+            result = self._execute(idx, outcome.value)
+            if result is _BLOCKED:
+                return
+            value = result
+
+    # -- op execution ------------------------------------------------------
+    def _execute(self, idx: int, op):
+        glob = self.comm.to_global(idx)
+        if isinstance(op, (SendOp, IsendOp)):
+            req = Request(
+                "send",
+                owner=glob,
+                peer=op.dst,
+                tag=op.tag,
+                nbytes=op.nbytes,
+                buffer=op.buffer,
+                disp=op.disp,
+                chunks=op.chunks,
+            )
+            self._do_send(req)
+            return req if isinstance(op, IsendOp) else None
+        if isinstance(op, (RecvOp, IrecvOp)):
+            req = Request(
+                "recv",
+                owner=glob,
+                peer=op.src,
+                tag=op.tag,
+                nbytes=op.nbytes,
+                buffer=op.buffer,
+                disp=op.disp,
+            )
+            env = self.matching[glob].post_recv(req)
+            if env is not None:
+                self._complete_recv(req, env)
+            if isinstance(op, IrecvOp):
+                return req
+            if req.complete:
+                return req.status
+            self._parked[idx] = _ParkedRecv(req)
+            req.on_complete(lambda r, i=idx: self._wakeup(i, r.status))
+            return _BLOCKED
+        if isinstance(op, WaitOp):
+            requests = op.requests
+            remaining = sum(1 for r in requests if not r.complete)
+            if remaining == 0:
+                return [r.status for r in requests]
+            state = _ParkedWait(requests, remaining)
+            self._parked[idx] = state
+
+            def one_done(_req, i=idx, state=state):
+                state.remaining -= 1
+                if state.remaining == 0:
+                    self._wakeup(i, [r.status for r in state.requests])
+
+            for r in requests:
+                if not r.complete:
+                    r.on_complete(one_done)
+            return _BLOCKED
+        if isinstance(op, ComputeOp):
+            return None  # time is free here
+        raise SimulationError(f"schedule executor got unknown op {op!r}")
+
+    def _wakeup(self, idx: int, value) -> None:
+        self._parked[idx] = None
+        self._ready.append((idx, value))
+
+    # -- transfer plumbing --------------------------------------------------
+    def _do_send(self, req: Request) -> None:
+        payload = None
+        if req.buffer is not None:
+            payload = req.buffer.read(req.disp, req.nbytes)
+        self.sends.append(
+            RecordedSend(
+                order=len(self.sends),
+                src=req.owner,
+                dst=req.peer,
+                nbytes=req.nbytes,
+                tag=req.tag,
+                chunks=req.chunks,
+            )
+        )
+        env = Envelope(req.owner, req.tag, req.nbytes, (req, payload), len(self.sends))
+        req.finish()  # buffered: sends always complete immediately
+        recv_req = self.matching[req.peer].arrive(env)
+        if recv_req is not None:
+            self._complete_recv(recv_req, env)
+
+    def _complete_recv(self, recv_req: Request, env: Envelope) -> None:
+        send_req, payload = env.send_req
+        if env.nbytes > recv_req.nbytes:
+            raise TruncationError(
+                f"message of {env.nbytes} bytes truncates receive of "
+                f"{recv_req.nbytes} bytes on rank {recv_req.owner}"
+            )
+        if recv_req.buffer is not None and payload is not None:
+            recv_req.buffer.write(recv_req.disp, payload)
+        recv_req.finish(Status(env.src, env.tag, env.nbytes, send_req.chunks))
+
+
+def extract_schedule(
+    nranks: int,
+    program_factory: Callable[[RankContext], object],
+    comm: Optional[Communicator] = None,
+    buffers: Optional[List] = None,
+    placement=None,
+) -> ScheduleResult:
+    """One-call helper: build, run and return the schedule."""
+    return ScheduleExecutor(
+        nranks, program_factory, comm=comm, buffers=buffers, placement=placement
+    ).run()

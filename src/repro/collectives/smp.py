@@ -1,0 +1,104 @@
+"""Multi-core-aware (SMP) broadcast — MPICH3's three-phase scheme.
+
+The paper (Section I) describes the mmsg-npof2 path as multi-core aware:
+
+1. intra-node binomial broadcast on the *root's* node;
+2. inter-node broadcast among one leader per node (scatter-ring-
+   allgather — the phase the tuned ring accelerates);
+3. intra-node binomial broadcast on every other node, rooted at its
+   leader.
+
+Sub-communicators are derived deterministically from the machine
+placement, so every rank builds identical communicators without any
+communication (see :mod:`repro.mpi.comm`).
+"""
+
+from __future__ import annotations
+
+from ..errors import CollectiveError
+from ..machine import Placement
+from ..util import ChunkSet
+from .bcast import BcastResult, bcast_scatter_ring_native
+from .binomial import bcast_binomial
+
+__all__ = ["bcast_smp"]
+
+
+def bcast_smp(
+    ctx,
+    nbytes: int,
+    root: int = 0,
+    placement: Placement = None,
+    inner=bcast_scatter_ring_native,
+):
+    """Three-phase SMP broadcast over the communicator bound to *ctx*.
+
+    *placement* maps global transport ranks to nodes (usually
+    ``machine.placement``). *inner* is the leader-phase broadcast —
+    swap in :func:`~repro.collectives.bcast.bcast_scatter_ring_opt` to
+    get the tuned variant end to end.
+    """
+    if placement is None:
+        raise CollectiveError("bcast_smp needs the machine placement")
+    comm = ctx.comm
+    size = comm.size
+    if not 0 <= root < size:
+        raise CollectiveError(f"root {root} outside [0, {size})")
+
+    # Group communicator members by node, preserving rank order.
+    groups = {}
+    for local in range(size):
+        node = placement.node_of(comm.to_global(local))
+        groups.setdefault(node, []).append(local)
+    root_node = placement.node_of(comm.to_global(root))
+    my_node = placement.node_of(ctx.global_rank)
+
+    # One leader per node: the root itself on its node, else the lowest
+    # member, so phase 2 can be rooted at the true data source.
+    leaders = [
+        root if node == root_node else members[0]
+        for node, members in sorted(groups.items())
+    ]
+    my_members = groups[my_node]
+    my_leader = root if my_node == root_node else my_members[0]
+    i_am_leader = ctx.rank == my_leader
+
+    node_comm = comm.subset(my_members, name=f"{comm.name}.node{my_node}")
+    node_ctx = ctx.sub(node_comm)
+
+    sends = recvs = redundant = 0
+
+    # -- Phase 1: intra-node broadcast on the root's node ----------------
+    if my_node == root_node and node_comm.size > 1:
+        res = yield from bcast_binomial(
+            node_ctx, nbytes, root=node_comm.to_local(comm.to_global(root))
+        )
+        sends += res.sends
+        recvs += res.recvs
+
+    # -- Phase 2: inter-node broadcast among leaders ------------------------
+    if i_am_leader and len(leaders) > 1:
+        leader_comm = comm.subset(leaders, name=f"{comm.name}.leaders")
+        leader_ctx = ctx.sub(leader_comm)
+        res = yield from inner(
+            leader_ctx, nbytes, root=leaders.index(root)
+        )
+        sends += res.sends
+        recvs += res.recvs
+        redundant += getattr(res, "redundant_recvs", 0)
+
+    # -- Phase 3: intra-node broadcast on the other nodes ---------------------
+    if my_node != root_node and node_comm.size > 1:
+        res = yield from bcast_binomial(
+            node_ctx, nbytes, root=node_comm.to_local(comm.to_global(my_leader))
+        )
+        sends += res.sends
+        recvs += res.recvs
+
+    return BcastResult(
+        algorithm="smp",
+        owned=ChunkSet.full(size),
+        sends=sends,
+        recvs=recvs,
+        redundant_recvs=redundant,
+    )

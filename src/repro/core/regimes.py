@@ -1,0 +1,93 @@
+"""Algorithm regime maps: re-deriving MPICH's selection thresholds.
+
+MPICH3's broadcast selector (12288 / 524288 bytes, pof2 tests) encodes
+empirical measurements of real machines. With a simulator we can ask the
+question directly: *which algorithm actually wins at each (P, size)
+point of this machine model*, and how often does the static selector
+agree? The bench ``benchmarks/test_regime_map.py`` prints the map; this
+module computes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..collectives import choose_bcast_name
+from ..errors import ConfigurationError
+from ..machine import MachineSpec
+from ..util import parse_size
+from .api import simulate_bcast
+
+__all__ = ["RegimeCell", "regime_map", "selector_agreement"]
+
+DEFAULT_CANDIDATES = (
+    "binomial",
+    "scatter_rdbl",
+    "scatter_ring_native",
+    "scatter_ring_opt",
+)
+
+
+@dataclass(frozen=True)
+class RegimeCell:
+    """One grid point of the regime map."""
+
+    nranks: int
+    nbytes: int
+    winner: str
+    winner_time: float
+    times: Dict[str, float]
+    mpich_choice: str  # what the (tuned) selector would pick
+
+    @property
+    def selector_agrees(self) -> bool:
+        """Agreement modulo the native/opt distinction (the selector's
+        job is picking the *shape*, tuned-ness is a separate switch)."""
+        base = self.mpich_choice.replace("_opt", "").replace("_native", "")
+        win = self.winner.replace("_opt", "").replace("_native", "")
+        return base == win
+
+
+def regime_map(
+    spec: MachineSpec,
+    ranks: Sequence[int],
+    sizes: Sequence,
+    candidates: Sequence[str] = DEFAULT_CANDIDATES,
+    placement="blocked",
+) -> List[RegimeCell]:
+    """Simulate every candidate at every grid point; report the winners."""
+    if not ranks or not sizes:
+        raise ConfigurationError("regime_map needs ranks and sizes")
+    cells = []
+    for nranks in ranks:
+        for raw in sizes:
+            nbytes = parse_size(raw)
+            times = {}
+            for name in candidates:
+                if name == "scatter_rdbl" and nranks & (nranks - 1):
+                    continue  # requires power-of-two
+                rec = simulate_bcast(
+                    spec, nranks, nbytes, algorithm=name, placement=placement
+                )
+                times[name] = rec.time
+            winner = min(times, key=times.get)
+            cells.append(
+                RegimeCell(
+                    nranks=nranks,
+                    nbytes=nbytes,
+                    winner=winner,
+                    winner_time=times[winner],
+                    times=times,
+                    mpich_choice=choose_bcast_name(nbytes, nranks, tuned=True),
+                )
+            )
+    return cells
+
+
+def selector_agreement(cells: Sequence[RegimeCell]) -> float:
+    """Fraction of grid points where MPICH's static choice is the
+    simulated winner's family."""
+    if not cells:
+        raise ConfigurationError("selector_agreement needs at least one cell")
+    return sum(1 for c in cells if c.selector_agrees) / len(cells)

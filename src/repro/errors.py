@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause.
+The sub-classes mirror the architectural layers: simulation kernel,
+machine model, simulated MPI runtime and collective algorithms.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "MachineError",
+    "PlacementError",
+    "MpiError",
+    "MatchingError",
+    "TruncationError",
+    "CollectiveError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """A failure inside the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Carries the list of blocked rank descriptions to make diagnosing a
+    mis-matched send/receive schedule straightforward.
+    """
+
+    def __init__(self, blocked: list) -> None:
+        self.blocked = list(blocked)
+        detail = "; ".join(str(b) for b in self.blocked[:8])
+        if len(self.blocked) > 8:
+            detail += f"; ... ({len(self.blocked) - 8} more)"
+        super().__init__(
+            f"simulation deadlocked with {len(self.blocked)} blocked process(es): {detail}"
+        )
+
+
+class MachineError(ReproError):
+    """Invalid machine specification or topology construction failure."""
+
+
+class PlacementError(MachineError):
+    """A rank-to-node placement request cannot be satisfied."""
+
+
+class MpiError(ReproError):
+    """Semantic violation of the simulated MPI API."""
+
+
+class MatchingError(MpiError):
+    """Internal message-matching inconsistency."""
+
+
+class TruncationError(MpiError):
+    """An incoming message is larger than the posted receive buffer.
+
+    Real MPI flags this as ``MPI_ERR_TRUNCATE``; we fail loudly because a
+    truncated transfer in a collective schedule is always a bug.
+    """
+
+
+class CollectiveError(ReproError):
+    """A collective algorithm was invoked with unusable parameters."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment or sweep configuration."""

@@ -1,0 +1,112 @@
+"""Machine presets approximating the paper's two evaluation systems.
+
+Constants are calibrated (not measured) to land simulated broadcast
+bandwidths in the same order of magnitude as the paper's figures — e.g.
+a ~2.7 GiB/s intra-node peak for 16 ranks on Hornet (Fig. 6a). The
+*shape* of the curves is the reproduction target; EXPERIMENTS.md records
+paper-vs-measured per figure.
+"""
+
+from __future__ import annotations
+
+from ..util import GIB, KIB, MIB
+from .spec import MachineSpec
+
+__all__ = ["hornet", "laki", "ideal"]
+
+
+def hornet(nodes: int = 16, **overrides) -> MachineSpec:
+    """Cray XC40 "Hornet": 24-core Haswell nodes, Aries dragonfly.
+
+    - dual Intel E5-2680v3, 24 cores and 128 GB per node;
+    - per-rank copy engine ~6 GiB/s, node memory engine ~80 GiB/s
+      (stream-class bandwidth shared by all on-node copies);
+    - ~10 GiB/s NIC per direction; dragonfly groups of 8 nodes with
+      tapered global links.
+    """
+    params = dict(
+        name="hornet",
+        nodes=nodes,
+        cores_per_node=24,
+        alpha_intra=0.5e-6,
+        alpha_inter=1.6e-6,
+        hop_latency=0.1e-6,
+        send_overhead=0.3e-6,
+        recv_overhead=0.3e-6,
+        rendezvous_rtt=2.0,
+        cpu_copy_bw=12.0 * GIB,
+        mem_bw=80.0 * GIB,
+        nic_bw=10.0 * GIB,
+        eager_threshold=8 * KIB,
+        l3_bytes=30 * MIB,
+        l3_penalty=0.55,
+        mem_pressure_bytes=2 * GIB,
+        mem_penalty=0.75,
+        topology="dragonfly",
+        topology_params={"group_size": 8, "local_factor": 2.0, "global_taper": 0.35},
+    )
+    params.update(overrides)
+    return MachineSpec(**params)
+
+
+def laki(nodes: int = 32, **overrides) -> MachineSpec:
+    """NEC cluster "Laki": 8-core Nehalem nodes, InfiniBand fat tree.
+
+    - dual Intel X5560, 8 cores per node, 8 MB L3;
+    - QDR-class InfiniBand (~3 GiB/s) under a 2:1 tapered fat tree.
+    """
+    params = dict(
+        name="laki",
+        nodes=nodes,
+        cores_per_node=8,
+        alpha_intra=0.7e-6,
+        alpha_inter=2.4e-6,
+        hop_latency=0.15e-6,
+        send_overhead=0.5e-6,
+        recv_overhead=0.5e-6,
+        rendezvous_rtt=2.0,
+        cpu_copy_bw=4.0 * GIB,
+        mem_bw=36.0 * GIB,
+        nic_bw=3.0 * GIB,
+        eager_threshold=8 * KIB,
+        l3_bytes=8 * MIB,
+        l3_penalty=0.6,
+        mem_pressure_bytes=1 * GIB,
+        mem_penalty=0.75,
+        topology="fattree",
+        topology_params={"radix": 16, "uplink_taper": 0.5},
+    )
+    params.update(overrides)
+    return MachineSpec(**params)
+
+
+def ideal(nodes: int = 16, cores_per_node: int = 16, **overrides) -> MachineSpec:
+    """Contention-free reference machine for model cross-validation.
+
+    Full-bisection crossbar, no cache effects, no host overheads: the
+    analytic alpha-beta model predicts transfer times on this machine
+    exactly, which the tests exploit.
+    """
+    params = dict(
+        name="ideal",
+        nodes=nodes,
+        cores_per_node=cores_per_node,
+        alpha_intra=1.0e-6,
+        alpha_inter=1.0e-6,
+        hop_latency=0.0,
+        send_overhead=0.0,
+        recv_overhead=0.0,
+        rendezvous_rtt=0.0,
+        cpu_copy_bw=1.0 * GIB,
+        mem_bw=1024.0 * GIB,
+        nic_bw=1024.0 * GIB,
+        eager_threshold=0,
+        l3_bytes=1 << 60,
+        l3_penalty=1.0,
+        mem_pressure_bytes=1 << 60,
+        mem_penalty=1.0,
+        topology="crossbar",
+        topology_params={},
+    )
+    params.update(overrides)
+    return MachineSpec(**params)

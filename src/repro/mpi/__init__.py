@@ -1,0 +1,66 @@
+"""Simulated MPI runtime: pt2pt transport, matching, communicators, jobs."""
+
+from .ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    SendOp,
+    RecvOp,
+    IsendOp,
+    IrecvOp,
+    WaitOp,
+    ComputeOp,
+)
+from .request import Request, Status
+from .datatypes import (
+    Datatype,
+    BYTE,
+    CHAR,
+    INT,
+    LONG,
+    FLOAT,
+    DOUBLE,
+    contiguous,
+    vector,
+    type_size,
+)
+from .buffers import RealBuffer, PhantomBuffer, make_buffer
+from .matching import Envelope, MatchingEngine
+from .counters import TrafficCounters
+from .comm import Communicator
+from .context import RankContext
+from .transport import Transport
+from .runtime import Job, JobResult
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SendOp",
+    "RecvOp",
+    "IsendOp",
+    "IrecvOp",
+    "WaitOp",
+    "ComputeOp",
+    "Request",
+    "Status",
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "contiguous",
+    "vector",
+    "type_size",
+    "RealBuffer",
+    "PhantomBuffer",
+    "make_buffer",
+    "Envelope",
+    "MatchingEngine",
+    "TrafficCounters",
+    "Communicator",
+    "RankContext",
+    "Transport",
+    "Job",
+    "JobResult",
+]

@@ -1,0 +1,95 @@
+"""Communicators: ordered groups of transport ranks.
+
+A :class:`Communicator` maps local ranks (what collective algorithms
+see) to global transport ranks (what the machine routes between). In the
+simulator, sub-communicators are constructed statically by the driver —
+splitting requires no communication — which is exactly what the
+SMP-aware broadcast needs: one leader communicator plus one local
+communicator per node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import MpiError
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """An ordered set of global ranks; position defines the local rank."""
+
+    def __init__(self, members: Sequence[int], name: str = "comm"):
+        members = list(members)
+        if not members:
+            raise MpiError("communicator needs at least one member")
+        if len(set(members)) != len(members):
+            raise MpiError(f"duplicate ranks in communicator: {members}")
+        if any(m < 0 for m in members):
+            raise MpiError(f"negative global rank in communicator: {members}")
+        self.members: List[int] = members
+        self.name = name
+        self._local_of: Dict[int, int] = {g: l for l, g in enumerate(members)}
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def world(cls, nranks: int) -> "Communicator":
+        """MPI_COMM_WORLD over ``nranks`` transport ranks."""
+        if nranks < 1:
+            raise MpiError(f"world communicator needs nranks >= 1, got {nranks}")
+        return cls(range(nranks), name="world")
+
+    def dup(self, name: str = None) -> "Communicator":
+        """A distinct communicator with identical membership."""
+        return Communicator(self.members, name or f"{self.name}.dup")
+
+    def split(self, color_of: Callable[[int], int], name: str = None) -> Dict[int, "Communicator"]:
+        """Partition by ``color_of(local_rank)``; key order preserved.
+
+        Returns ``{color: Communicator}``; within each part, members keep
+        their relative order (the MPI ``key = rank`` convention).
+        """
+        parts: Dict[int, List[int]] = {}
+        for local, glob in enumerate(self.members):
+            color = color_of(local)
+            parts.setdefault(color, []).append(glob)
+        base = name or f"{self.name}.split"
+        return {
+            color: Communicator(globs, name=f"{base}[{color}]")
+            for color, globs in parts.items()
+        }
+
+    def subset(self, locals_: Sequence[int], name: str = None) -> "Communicator":
+        """Communicator over the given local ranks (in the given order)."""
+        return Communicator(
+            [self.to_global(l) for l in locals_], name or f"{self.name}.subset"
+        )
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def to_global(self, local: int) -> int:
+        if not 0 <= local < self.size:
+            raise MpiError(
+                f"local rank {local} outside [0, {self.size}) in {self.name}"
+            )
+        return self.members[local]
+
+    def to_local(self, global_rank: int) -> int:
+        try:
+            return self._local_of[global_rank]
+        except KeyError:
+            raise MpiError(
+                f"global rank {global_rank} is not a member of {self.name}"
+            ) from None
+
+    def __contains__(self, global_rank: int) -> bool:
+        return global_rank in self._local_of
+
+    def __repr__(self) -> str:
+        head = ", ".join(map(str, self.members[:8]))
+        more = ", ..." if self.size > 8 else ""
+        return f"<Communicator {self.name} size={self.size} [{head}{more}]>"

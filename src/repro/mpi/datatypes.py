@@ -1,0 +1,125 @@
+"""MPI datatypes: elementary types and derived layouts.
+
+The transport moves bytes; this layer gives those bytes MPI's type
+vocabulary so applications can write ``send(dst, count=1024,
+datatype=DOUBLE)`` instead of hand-multiplying sizes, and so packing
+math (the part of derived datatypes that affects *how many bytes* move
+and whether they are contiguous) is available for layout studies.
+
+Implemented:
+
+* elementary types (``BYTE``, ``CHAR``, ``INT``, ``FLOAT``, ``DOUBLE``,
+  ``LONG``) with MPI's sizes;
+* ``contiguous(n, base)`` — n repetitions;
+* ``vector(count, blocklength, stride, base)`` — strided blocks, the
+  classic row/column-slice type; carries both ``size`` (payload bytes)
+  and ``extent`` (span in the buffer), and knows whether a pack step is
+  needed (non-contiguous data must be packed before the wire, which the
+  context charges as compute time at the rank's copy bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MpiError
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "contiguous",
+    "vector",
+    "type_size",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype: payload size, buffer extent, contiguity."""
+
+    name: str
+    size: int  # bytes of actual data per element
+    extent: int  # bytes of buffer span per element
+    contiguous: bool = True
+
+    def __post_init__(self):
+        if self.size < 0 or self.extent < 0:
+            raise MpiError(f"datatype {self.name!r} with negative size/extent")
+        if self.extent < self.size and self.extent != 0:
+            raise MpiError(
+                f"datatype {self.name!r}: extent {self.extent} < size {self.size}"
+            )
+
+    def payload_bytes(self, count: int) -> int:
+        """Wire bytes for *count* elements."""
+        if count < 0:
+            raise MpiError(f"negative element count {count}")
+        return count * self.size
+
+    def span_bytes(self, count: int) -> int:
+        """Buffer span occupied by *count* elements."""
+        if count < 0:
+            raise MpiError(f"negative element count {count}")
+        if count == 0:
+            return 0
+        # MPI extent semantics: the last element contributes only size.
+        return (count - 1) * self.extent + self.size
+
+    def needs_pack(self) -> bool:
+        return not self.contiguous
+
+    def __repr__(self) -> str:
+        flag = "" if self.contiguous else ", non-contiguous"
+        return f"<Datatype {self.name}: size={self.size}, extent={self.extent}{flag}>"
+
+
+BYTE = Datatype("MPI_BYTE", 1, 1)
+CHAR = Datatype("MPI_CHAR", 1, 1)
+INT = Datatype("MPI_INT", 4, 4)
+LONG = Datatype("MPI_LONG", 8, 8)
+FLOAT = Datatype("MPI_FLOAT", 4, 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8, 8)
+
+
+def contiguous(n: int, base: Datatype = BYTE, name: str = None) -> Datatype:
+    """``MPI_Type_contiguous``: n repetitions of *base*."""
+    if n < 1:
+        raise MpiError(f"contiguous needs n >= 1, got {n}")
+    return Datatype(
+        name or f"contig({n},{base.name})",
+        size=n * base.size,
+        extent=n * base.extent,
+        contiguous=base.contiguous,
+    )
+
+
+def vector(
+    count: int, blocklength: int, stride: int, base: Datatype = BYTE, name: str = None
+) -> Datatype:
+    """``MPI_Type_vector``: *count* blocks of *blocklength* elements,
+    block starts *stride* elements apart (stride >= blocklength)."""
+    if count < 1 or blocklength < 1:
+        raise MpiError("vector needs count >= 1 and blocklength >= 1")
+    if stride < blocklength:
+        raise MpiError(
+            f"vector stride {stride} smaller than blocklength {blocklength}"
+        )
+    size = count * blocklength * base.size
+    extent = ((count - 1) * stride + blocklength) * base.extent
+    contig = base.contiguous and (stride == blocklength or count == 1)
+    return Datatype(
+        name or f"vector({count},{blocklength},{stride},{base.name})",
+        size=size,
+        extent=extent,
+        contiguous=contig,
+    )
+
+
+def type_size(datatype: Datatype, count: int) -> int:
+    """``MPI_Type_size`` x count — wire bytes for the message."""
+    return datatype.payload_bytes(count)

@@ -1,0 +1,111 @@
+"""Requests and statuses for the simulated point-to-point layer."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import MpiError
+
+__all__ = ["Status", "Request"]
+
+
+class Status:
+    """Completion record of a receive (mirrors ``MPI_Status``).
+
+    ``chunks`` carries the scatter-chunk ids the sender attached to the
+    message — simulator-only metadata that lets tests assert the tuned
+    ring never redelivers an owned chunk.
+    """
+
+    __slots__ = ("source", "tag", "nbytes", "chunks")
+
+    def __init__(self, source: int, tag: int, nbytes: int, chunks: Tuple[int, ...] = ()):
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+        self.chunks = tuple(chunks)
+
+    def __eq__(self, other):
+        if not isinstance(other, Status):
+            return NotImplemented
+        return (self.source, self.tag, self.nbytes) == (
+            other.source,
+            other.tag,
+            other.nbytes,
+        )
+
+    def __repr__(self) -> str:
+        return f"Status(source={self.source}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class Request:
+    """Handle for an in-flight send or receive.
+
+    The transport drives the request through ``pending -> complete``;
+    executors register completion callbacks to resume blocked programs.
+    """
+
+    __slots__ = (
+        "kind",
+        "owner",
+        "peer",
+        "tag",
+        "nbytes",
+        "buffer",
+        "disp",
+        "chunks",
+        "complete",
+        "status",
+        "_callbacks",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        owner: int,
+        peer: int,
+        tag: int,
+        nbytes: int,
+        buffer=None,
+        disp: int = 0,
+        chunks: Tuple[int, ...] = (),
+    ):
+        if kind not in ("send", "recv"):
+            raise MpiError(f"unknown request kind {kind!r}")
+        self.kind = kind
+        self.owner = owner
+        self.peer = peer  # dst for sends; src (may be ANY_SOURCE) for recvs
+        self.tag = tag
+        self.nbytes = nbytes
+        self.buffer = buffer
+        self.disp = disp
+        self.chunks = tuple(chunks)
+        self.complete = False
+        self.status: Optional[Status] = None
+        self._callbacks: List[Callable] = []
+        self.seq = -1  # assigned by the transport for FIFO matching
+
+    def on_complete(self, callback: Callable) -> None:
+        """Run ``callback(request)`` at completion (immediately if done)."""
+        if self.complete:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def finish(self, status: Optional[Status] = None) -> None:
+        """Mark complete and fire callbacks (transport-internal)."""
+        if self.complete:
+            raise MpiError(f"request completed twice: {self!r}")
+        self.complete = True
+        self.status = status
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:
+        state = "complete" if self.complete else "pending"
+        return (
+            f"<Request {self.kind} owner={self.owner} peer={self.peer} "
+            f"tag={self.tag} nbytes={self.nbytes} {state}>"
+        )

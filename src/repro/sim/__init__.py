@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel: engine, coroutines, fluid flows."""
+
+from .engine import Engine, EventHandle
+from .process import Proc, StepOutcome, step_coroutine, ensure_generator
+from .resources import Resource
+from .flows import Flow, FlowNetwork
+from .trace import Trace, NullTrace, TraceRecord
+from .random import RngStreams
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "Proc",
+    "StepOutcome",
+    "step_coroutine",
+    "ensure_generator",
+    "Resource",
+    "Flow",
+    "FlowNetwork",
+    "Trace",
+    "NullTrace",
+    "TraceRecord",
+    "RngStreams",
+]

@@ -1,0 +1,128 @@
+"""Discrete-event simulation engine: virtual clock plus an event heap.
+
+The engine is deliberately tiny: events are ``(time, seq, callback)``
+triples in a binary heap, popped in time order with FIFO tie-breaking via
+the monotonically increasing sequence number. Everything else in the
+simulator (message matching, fluid flows, rank programs) is layered on
+top of :meth:`Engine.schedule`.
+
+Determinism is a hard requirement (DESIGN.md §5): the engine never reads
+the wall clock and never iterates over unordered containers, so two runs
+with identical inputs produce identical event orders and timestamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Engine", "EventHandle"]
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<EventHandle t={self.time:.9g} {name} {state}>"
+
+
+class Engine:
+    """Virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args) -> EventHandle:
+        """Run ``callback(*args)`` *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event; False when the queue is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue (optionally stopping at time *until*).
+
+        Returns the final simulated time. Re-entrant calls are rejected —
+        callbacks must schedule follow-up events, not recurse into the
+        loop.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+            # fire
+                heapq.heappop(self._heap)
+                self._now = head.time
+                head.callback(*head.args)
+            return self._now
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    @property
+    def empty(self) -> bool:
+        return self.pending == 0

@@ -1,0 +1,58 @@
+"""Fluid capacity resources for the flow-level network model.
+
+A :class:`Resource` is anything with a byte/s capacity that concurrent
+transfers share: a rank's copy engine, a node's memory engine, a NIC
+direction, a network link, or an aggregate core capacity. Flows claim a
+*path* (a set of resources); the solver in :mod:`repro.sim.flows` splits
+each resource's capacity among its active flows max-min fairly.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A capacity shared by the flows currently crossing it."""
+
+    __slots__ = ("name", "capacity", "flows", "kind")
+
+    def __init__(self, name: str, capacity: float, kind: str = "generic"):
+        if capacity <= 0:
+            raise SimulationError(
+                f"resource {name!r} needs positive capacity, got {capacity}"
+            )
+        self.name = name
+        self.capacity = float(capacity)
+        self.kind = kind
+        # Active flows are kept in a list ordered by flow id so the
+        # max-min solve visits them deterministically.
+        self.flows: list = []
+
+    def attach(self, flow) -> None:
+        self.flows.append(flow)
+
+    def detach(self, flow) -> None:
+        try:
+            self.flows.remove(flow)
+        except ValueError:
+            raise SimulationError(
+                f"flow {flow!r} not attached to resource {self.name!r}"
+            ) from None
+
+    @property
+    def load(self) -> int:
+        """Number of flows currently crossing this resource."""
+        return len(self.flows)
+
+    def utilization(self) -> float:
+        """Fraction of capacity allocated to current flow rates."""
+        return sum(f.rate for f in self.flows) / self.capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name} kind={self.kind} "
+            f"cap={self.capacity:.4g}B/s flows={self.load}>"
+        )

@@ -1,0 +1,105 @@
+"""Terminal line plots for benchmark output.
+
+Renders one or more ``(x, y)`` series on a character grid with optional
+log-scaled axes — enough to eyeball the same curve shapes as the paper's
+gnuplot figures straight from ``pytest benchmarks/ -s`` output.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = ["line_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values, log: bool):
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ConfigurationError(f"log-scale axis cannot show value {v!r}")
+        out.append(math.log2(v))
+    return out
+
+
+def line_plot(
+    series,
+    width: int = 72,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render ``{label: (xs, ys)}`` series as an ASCII chart string."""
+    if not series:
+        raise ConfigurationError("line_plot needs at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot area too small")
+
+    pts = {}
+    for label, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ConfigurationError(f"series {label!r} has mismatched x/y lengths")
+        if not xs:
+            continue
+        pts[label] = (_transform(xs, logx), _transform(ys, logy))
+    if not pts:
+        raise ConfigurationError("all series empty")
+
+    all_x = [x for xs, _ in pts.values() for x in xs]
+    all_y = [y for _, ys in pts.values() for y in ys]
+    xmin, xmax = min(all_x), max(all_x)
+    ymin, ymax = min(all_y), max(all_y)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, (xs, ys)) in enumerate(pts.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - xmin) / xspan * (width - 1)))
+            row = height - 1 - int(round((y - ymin) / yspan * (height - 1)))
+            grid[row][col] = marker
+
+    def _fmt_axis(v: float, log: bool) -> str:
+        raw = 2.0**v if log else v
+        if raw >= 1e6 or (0 < abs(raw) < 1e-2):
+            return f"{raw:.2e}"
+        return f"{raw:.6g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(pts)
+    )
+    lines.append(legend)
+    ytop = _fmt_axis(ymax, logy)
+    ybot = _fmt_axis(ymin, logy)
+    pad = max(len(ytop), len(ybot), len(ylabel))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = ytop.rjust(pad)
+        elif r == height - 1:
+            prefix = ybot.rjust(pad)
+        elif r == height // 2 and ylabel:
+            prefix = ylabel.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    xleft = _fmt_axis(xmin, logx)
+    xright = _fmt_axis(xmax, logx)
+    gap = width - len(xleft) - len(xright)
+    footer = " " * (pad + 2) + xleft + " " * max(gap, 1) + xright
+    lines.append(footer)
+    if xlabel:
+        lines.append(" " * (pad + 2) + xlabel.center(width))
+    return "\n".join(lines)

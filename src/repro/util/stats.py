@@ -1,0 +1,89 @@
+"""Small summary-statistics helpers used by the sweep driver and benches.
+
+Kept dependency-light (pure Python) because they run inside benchmark
+loops; numpy arrays are accepted anywhere a sequence is.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "mean",
+    "geomean",
+    "median",
+    "stdev",
+    "percent_change",
+    "speedup",
+    "summarize",
+]
+
+
+def _as_list(values) -> list:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ConfigurationError("statistic of empty sequence")
+    return vals
+
+
+def mean(values) -> float:
+    vals = _as_list(values)
+    return sum(vals) / len(vals)
+
+
+def geomean(values) -> float:
+    """Geometric mean; the right average for speedup ratios."""
+    vals = _as_list(values)
+    if any(v <= 0 for v in vals):
+        raise ConfigurationError("geomean needs strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def median(values) -> float:
+    vals = sorted(_as_list(values))
+    n = len(vals)
+    mid = n // 2
+    if n % 2:
+        return vals[mid]
+    return 0.5 * (vals[mid - 1] + vals[mid])
+
+
+def stdev(values) -> float:
+    """Sample standard deviation (0 for a single observation)."""
+    vals = _as_list(values)
+    if len(vals) == 1:
+        return 0.0
+    mu = mean(vals)
+    return math.sqrt(sum((v - mu) ** 2 for v in vals) / (len(vals) - 1))
+
+
+def percent_change(baseline: float, new: float) -> float:
+    """Signed percentage improvement of *new* over *baseline*.
+
+    Matches the paper's reporting: +12 means "12 % higher than native".
+    """
+    if baseline == 0:
+        raise ConfigurationError("percent_change with zero baseline")
+    return (new - baseline) / baseline * 100.0
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    """Classic time ratio: > 1 means *new* is faster."""
+    if new_time <= 0:
+        raise ConfigurationError("speedup with non-positive new_time")
+    return baseline_time / new_time
+
+
+def summarize(values) -> dict:
+    """Dict of the standard summary statistics for a sample."""
+    vals = _as_list(values)
+    return {
+        "n": len(vals),
+        "mean": mean(vals),
+        "median": median(vals),
+        "min": min(vals),
+        "max": max(vals),
+        "stdev": stdev(vals),
+    }

@@ -1,0 +1,68 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import to_chrome_trace, write_chrome_trace
+from repro.errors import ConfigurationError
+from repro.sim import Trace
+
+from .test_timeline import traced_bcast
+
+
+class TestToChrome:
+    def test_schema(self):
+        payload = to_chrome_trace(traced_bcast(P=4))
+        assert "traceEvents" in payload
+        events = payload["traceEvents"]
+        assert events[0]["ph"] == "M"  # process metadata first
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs, "no complete events"
+        for e in xs:
+            assert e["ts"] >= 0 and e["dur"] > 0
+            assert "nbytes" in e["args"]
+            assert e["cat"] in ("scatter", "ring")
+
+    def test_event_count_matches_transfers(self):
+        payload = to_chrome_trace(traced_bcast(P=8))
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 51  # 7 scatter + 44 tuned ring
+
+    def test_thread_metadata_per_rank(self):
+        payload = to_chrome_trace(traced_bcast(P=4))
+        tids = {
+            e["tid"]
+            for e in payload["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert tids == {0, 1, 2, 3}
+
+    def test_timestamps_in_microseconds(self):
+        trace = Trace()
+        trace.emit(1.0, "send_launch", src=0, dst=1, tag=0, nbytes=4)
+        trace.emit(2.0, "recv_complete", src=0, dst=1, tag=0, nbytes=4)
+        payload = to_chrome_trace(trace)
+        (x,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert x["ts"] == pytest.approx(1e6)
+        assert x["dur"] == pytest.approx(1e6)
+
+
+class TestWrite:
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced_bcast(P=4), str(path))
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+
+    def test_write_to_fileobj(self):
+        buf = io.StringIO()
+        write_chrome_trace(traced_bcast(P=4), buf, process_name="demo")
+        loaded = json.loads(buf.getvalue())
+        names = [e["args"].get("name") for e in loaded["traceEvents"] if e["ph"] == "M"]
+        assert "demo" in names
+
+    def test_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            write_chrome_trace(Trace(), 42)

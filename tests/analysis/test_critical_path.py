@@ -1,0 +1,68 @@
+"""Tests for critical-path extraction."""
+
+import pytest
+
+from repro.analysis import critical_path, message_spans
+from repro.core import simulate_bcast
+from repro.machine import ideal
+from repro.sim import Trace
+
+
+def traced(algorithm, P=8, nbytes=2**16, spec=None):
+    trace = Trace()
+    simulate_bcast(
+        spec if spec is not None else ideal(nodes=2, cores_per_node=8),
+        P,
+        nbytes,
+        algorithm=algorithm,
+        trace=trace,
+    )
+    return trace
+
+
+class TestCriticalPath:
+    def test_empty_trace(self):
+        cp = critical_path(Trace())
+        assert cp.hops == 0 and cp.duration == 0.0
+        assert "(empty trace)" in cp.describe()
+
+    def test_chain_is_causal_and_connected(self):
+        cp = critical_path(traced("scatter_ring_opt"))
+        for a, b in zip(cp.spans, cp.spans[1:]):
+            assert a.end <= b.start + 1e-12
+            assert {a.src, a.dst} & {b.src, b.dst}
+
+    def test_duration_lower_bounds_makespan(self):
+        trace = traced("scatter_ring_opt", P=8)
+        cp = critical_path(trace)
+        makespan = max(s.end for s in message_spans(trace))
+        assert cp.spans[-1].end == pytest.approx(makespan)
+        assert cp.transfer_time <= cp.duration + 1e-12
+
+    def test_ring_path_has_p_minus_1_ring_hops(self):
+        """Filtered to the ring phase, the critical chain is the chunk
+        that travels the whole ring: at least P-1 hops."""
+        P = 8
+        cp = critical_path(traced("scatter_ring_native", P=P), tag=2)
+        assert cp.hops >= P - 1
+
+    def test_binomial_path_is_log_depth(self):
+        P = 16
+        cp = critical_path(traced("binomial", P=P))
+        # Tree depth 4 (+ slack for the root's serialised sends).
+        assert 4 <= cp.hops <= 8
+
+    def test_tight_on_serial_chain(self):
+        """On the ideal machine the chain bcast's critical path accounts
+        for essentially the whole makespan."""
+        trace = traced("chain", P=6, nbytes=2**18)
+        cp = critical_path(trace)
+        spans = message_spans(trace)
+        t0 = min(s.start for s in spans)
+        t1 = max(s.end for s in spans)
+        assert cp.duration >= 0.8 * (t1 - t0)
+
+    def test_describe_mentions_hops(self):
+        cp = critical_path(traced("scatter_ring_opt"))
+        assert "hops" in cp.describe()
+        assert "->" in cp.describe()

@@ -1,0 +1,192 @@
+"""Tests for the real-thread backend (the correctness oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import ThreadBackend, run_threaded
+from repro.collectives import (
+    ALGORITHMS,
+    bcast_scatter_ring_opt,
+    get_algorithm,
+)
+from repro.errors import DeadlockError, SimulationError, TruncationError
+from repro.mpi import Communicator, RealBuffer
+
+
+def bcast_factory(algo, nbytes, root):
+    def factory(ctx):
+        def program():
+            return (yield from algo(ctx, nbytes, root))
+
+        return program()
+
+    return factory
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        bufs = [RealBuffer(64, fill=4), RealBuffer(64)]
+
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send(1, 64)
+                else:
+                    status = yield from ctx.recv(0, 64)
+                    return status.source
+
+            return program()
+
+        results = run_threaded(2, factory, buffers=bufs)
+        assert results[1] == 0
+        assert (bufs[1].array == 4).all()
+
+    def test_sendrecv_exchange(self):
+        bufs = [RealBuffer(8, fill=1), RealBuffer(8, fill=2)]
+
+        def factory(ctx):
+            def program():
+                peer = 1 - ctx.rank
+                yield from ctx.sendrecv(peer, 8, peer, 8)
+
+            return program()
+
+        run_threaded(2, factory, buffers=bufs)
+        assert (bufs[0].array == 2).all()
+        assert (bufs[1].array == 1).all()
+
+    def test_recv_cycle_deadlock_detected(self):
+        def factory(ctx):
+            def program():
+                peer = 1 - ctx.rank
+                yield from ctx.recv(peer, 4)
+                yield from ctx.send(peer, 4)
+
+            return program()
+
+        with pytest.raises(DeadlockError):
+            ThreadBackend(2, factory, timeout=0.5).run()
+
+    def test_truncation_surfaces(self):
+        bufs = [RealBuffer(16, fill=1), RealBuffer(16)]
+
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send(1, 16)
+                else:
+                    yield from ctx.recv(0, 4)
+
+            return program()
+
+        with pytest.raises(TruncationError):
+            ThreadBackend(2, factory, buffers=bufs, timeout=2.0).run()
+
+    def test_program_exception_propagates(self):
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    raise ValueError("boom")
+                return
+                yield
+
+            return program()
+
+        with pytest.raises(ValueError):
+            ThreadBackend(2, factory, timeout=2.0).run()
+
+    def test_unknown_op_rejected(self):
+        def factory(ctx):
+            def program():
+                yield object()
+
+            return program()
+
+        with pytest.raises(SimulationError):
+            ThreadBackend(1, factory, timeout=2.0).run()
+
+    def test_compute_is_noop_by_default(self):
+        def factory(ctx):
+            def program():
+                yield from ctx.compute(3600.0)
+                return "ok"
+
+            return program()
+
+        assert ThreadBackend(1, factory, timeout=5.0).run() == ["ok"]
+
+
+class TestBroadcastsOnThreads:
+    """The same generators that run on the DES run here, byte-identically."""
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_all_algorithms_deliver(self, name):
+        P, nbytes, root = 8, 797, 3
+        algo = get_algorithm(name)
+        bufs = [RealBuffer(nbytes, fill=(17 if r == root else 0)) for r in range(P)]
+        results = run_threaded(P, bcast_factory(algo, nbytes, root), buffers=bufs)
+        for rank, buf in enumerate(bufs):
+            assert (buf.array == 17).all(), f"{name}: rank {rank}"
+        for res in results:
+            res.assert_complete()
+
+    def test_npof2_tuned_ring(self):
+        P, nbytes = 10, 1000
+        bufs = [RealBuffer(nbytes, fill=(17 if r == 0 else 0)) for r in range(P)]
+        run_threaded(
+            P, bcast_factory(bcast_scatter_ring_opt, nbytes, 0), buffers=bufs
+        )
+        for buf in bufs:
+            assert (buf.array == 17).all()
+
+    def test_matches_schedule_executor_byte_for_byte(self):
+        """Thread backend and zero-time executor produce identical final
+        buffers from identical programs."""
+        from repro.collectives.schedule import extract_schedule
+
+        P, nbytes, root = 9, 500, 2
+        payload = np.random.default_rng(0).integers(
+            0, 255, size=nbytes, dtype=np.uint8
+        )
+
+        def make_bufs():
+            bufs = [RealBuffer(nbytes) for _ in range(P)]
+            bufs[root].array[:] = payload
+            return bufs
+
+        t_bufs = make_bufs()
+        run_threaded(
+            P, bcast_factory(bcast_scatter_ring_opt, nbytes, root), buffers=t_bufs
+        )
+        s_bufs = make_bufs()
+        extract_schedule(
+            P, bcast_factory(bcast_scatter_ring_opt, nbytes, root), buffers=s_bufs
+        )
+        for tb, sb in zip(t_bufs, s_bufs):
+            assert (tb.array == sb.array).all()
+            assert (tb.array == payload).all()
+
+    def test_message_count_matches_paper(self):
+        backend = ThreadBackend(
+            8, bcast_factory(bcast_scatter_ring_opt, 800, 0), timeout=10.0
+        )
+        backend.run()
+        assert backend.message_count == 7 + 44  # scatter + tuned ring
+
+    def test_custom_communicator(self):
+        comm = Communicator([3, 1, 2])
+
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send(2, 4)
+                elif ctx.rank == 2:
+                    status = yield from ctx.recv(0, 4)
+                    return status.source
+                return None
+
+            return program()
+
+        backend = ThreadBackend(4, factory, comm=comm, timeout=5.0)
+        results = backend.run()
+        assert results[2] == 0  # localised source

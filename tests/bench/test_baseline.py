@@ -1,0 +1,108 @@
+"""Tests for bench baseline persistence and regression detection."""
+
+import pytest
+
+from repro.bench.baseline import (
+    compare_to_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        save_baseline(path, {"bw": 1234.5, "msgs": 44}, meta={"machine": "hornet"})
+        loaded = load_baseline(path)
+        assert loaded == {"bw": 1234.5, "msgs": 44.0}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_baseline(str(tmp_path / "x.json"), {})
+
+    def test_non_numeric_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_baseline(str(tmp_path / "x.json"), {"bad": "fast"})
+
+    def test_format_checked(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": 99, "metrics": {}}')
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(path))
+
+    def test_atomic_overwrite(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        save_baseline(path, {"a": 1})
+        save_baseline(path, {"a": 2})
+        assert load_baseline(path) == {"a": 2.0}
+
+
+class TestCompare:
+    def test_identical_ok_at_zero_tolerance(self):
+        diff = compare_to_baseline({"bw": 100.0}, {"bw": 100.0}, rel_tol=0.0)
+        assert diff.ok
+        assert diff.matched == {"bw": 0.0}
+
+    def test_improvement_is_not_a_regression(self):
+        diff = compare_to_baseline({"bw": 100.0}, {"bw": 150.0})
+        assert diff.ok
+
+    def test_regression_detected(self):
+        diff = compare_to_baseline({"bw": 100.0}, {"bw": 90.0}, rel_tol=0.05)
+        assert not diff.ok
+        assert diff.regressions == {"bw": pytest.approx(-0.1)}
+        assert "REGRESSION bw" in diff.describe()
+
+    def test_tolerance_allows_slack(self):
+        diff = compare_to_baseline({"bw": 100.0}, {"bw": 96.0}, rel_tol=0.05)
+        assert diff.ok
+
+    def test_lower_is_better_mode(self):
+        # Times: going up is bad.
+        diff = compare_to_baseline(
+            {"t": 1.0}, {"t": 1.2}, rel_tol=0.1, higher_is_better=False
+        )
+        assert not diff.ok
+        diff = compare_to_baseline(
+            {"t": 1.0}, {"t": 0.8}, rel_tol=0.1, higher_is_better=False
+        )
+        assert diff.ok
+
+    def test_missing_and_new(self):
+        diff = compare_to_baseline({"a": 1.0, "b": 2.0}, {"b": 2.0, "c": 3.0})
+        assert diff.missing == ["a"]
+        assert diff.new == ["c"]
+        assert not diff.ok
+        assert "MISSING a" in diff.describe() and "NEW c" in diff.describe()
+
+    def test_zero_baseline_value(self):
+        assert compare_to_baseline({"x": 0.0}, {"x": 0.0}).ok
+        assert not compare_to_baseline({"x": 0.0}, {"x": -1.0}).ok
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            compare_to_baseline({}, {}, rel_tol=-1)
+
+
+class TestEndToEnd:
+    def test_simulator_metrics_reproduce_bitwise(self, tmp_path):
+        """The deterministic simulator's own numbers survive a baseline
+        round trip at zero tolerance."""
+        from repro.core import compare_bcast
+        from repro.machine import hornet
+
+        def measure():
+            cmp = compare_bcast(hornet(nodes=2), 16, "256KiB")
+            return {
+                "native_time": cmp.native.time,
+                "opt_time": cmp.opt.time,
+                "messages_saved": cmp.transfers_saved,
+            }
+
+        path = str(tmp_path / "sim.json")
+        save_baseline(path, measure())
+        diff = compare_to_baseline(
+            load_baseline(path), measure(), rel_tol=0.0, higher_is_better=False
+        )
+        assert diff.ok, diff.describe()

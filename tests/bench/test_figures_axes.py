@@ -1,0 +1,56 @@
+"""Pin the experiment axes to the paper's Section V text."""
+
+from repro.bench.figures import (
+    FIG6_SIZES,
+    FIG7_RANKS,
+    FIG7_SIZES,
+    FIG8_RANKS,
+    FIG8_SIZES,
+)
+from repro.collectives import LONG_MSG_SIZE, SHORT_MSG_SIZE
+from repro.util import is_power_of_two
+
+
+class TestFig6Axes:
+    def test_sizes_are_the_figure_ticks(self):
+        # "varying the sizes from 524288 to 30000000 bytes"; the plotted
+        # ticks are 2^19 .. 2^25.
+        assert FIG6_SIZES == [2**k for k in range(19, 26)]
+
+    def test_all_sizes_are_lmsg(self):
+        assert all(s >= LONG_MSG_SIZE for s in FIG6_SIZES)
+
+
+class TestFig7Axes:
+    def test_ranks_from_the_paper(self):
+        # "as for example 9, 17, 33, 65 and 129 processes".
+        assert FIG7_RANKS == [9, 17, 33, 65, 129]
+
+    def test_all_ranks_npof2(self):
+        assert all(not is_power_of_two(p) for p in FIG7_RANKS)
+
+    def test_sizes_from_the_paper(self):
+        # "two critical message sizes - 12288 and 524287 bytes ... and
+        # long messages (take 1048576 bytes for example)".
+        assert FIG7_SIZES == [12288, 524287, 1048576]
+
+    def test_sizes_straddle_the_thresholds(self):
+        assert FIG7_SIZES[0] == SHORT_MSG_SIZE  # first medium size
+        assert FIG7_SIZES[1] == LONG_MSG_SIZE - 1  # last medium size
+        assert FIG7_SIZES[2] >= LONG_MSG_SIZE  # a long message
+
+
+class TestFig8Axes:
+    def test_fixed_129_ranks(self):
+        # "we fix the number of processes to 129".
+        assert FIG8_RANKS == 129
+
+    def test_range_from_the_paper(self):
+        # "increasing message sizes from 12288 ... to 2560000 bytes".
+        assert FIG8_SIZES[0] == 12288
+        assert FIG8_SIZES[-1] == 2560000
+        assert FIG8_SIZES == sorted(FIG8_SIZES)
+
+    def test_spans_medium_and_long(self):
+        assert any(s < LONG_MSG_SIZE for s in FIG8_SIZES)
+        assert any(s >= LONG_MSG_SIZE for s in FIG8_SIZES)

@@ -1,0 +1,132 @@
+"""Tests for ring allgatherv (variable blocks) and sub-communicator
+concurrency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import allgatherv_ring, displacements
+from repro.collectives.schedule import extract_schedule
+from repro.errors import CollectiveError
+from repro.machine import Machine, ideal
+from repro.mpi import Communicator, Job, RealBuffer
+
+
+def run_agv(counts, timed=False):
+    P = len(counts)
+    disps = displacements(counts)
+    total = sum(counts)
+    bufs = []
+    for r in range(P):
+        buf = RealBuffer(total)
+        buf.array[disps[r] : disps[r] + counts[r]] = r + 1
+        bufs.append(buf)
+
+    def factory(ctx):
+        def program():
+            return (yield from allgatherv_ring(ctx, counts))
+
+        return program()
+
+    if timed:
+        machine = Machine(ideal(nodes=2, cores_per_node=max(P, 2)), nranks=P)
+        return Job(machine, factory, buffers=bufs).run(), bufs
+    return extract_schedule(P, factory, buffers=bufs), bufs
+
+
+def check(bufs, counts):
+    disps = displacements(counts)
+    for rank, buf in enumerate(bufs):
+        for b, c in enumerate(counts):
+            blk = buf.array[disps[b] : disps[b] + c]
+            assert (blk == b + 1).all(), f"rank {rank} block {b}"
+
+
+class TestDisplacements:
+    def test_prefix_sums(self):
+        assert displacements([3, 0, 5]) == [0, 3, 3]
+
+    def test_empty(self):
+        assert displacements([]) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(CollectiveError):
+            displacements([1, -2])
+
+
+class TestAllgathervRing:
+    def test_uniform_counts(self):
+        res, bufs = run_agv([16] * 8)
+        check(bufs, [16] * 8)
+        assert res.transfers == 8 * 7
+
+    def test_wildly_uneven_counts(self):
+        counts = [100, 0, 7, 3000, 1, 0, 42]
+        res, bufs = run_agv(counts)
+        check(bufs, counts)
+
+    def test_zero_blocks_still_take_ring_slots(self):
+        counts = [10, 0, 10, 0]
+        res, _ = run_agv(counts)
+        assert res.transfers == 4 * 3  # including the zero-byte slots
+
+    def test_single_rank(self):
+        res, bufs = run_agv([64])
+        assert res.transfers == 0
+
+    def test_count_arity_checked(self):
+        def factory(ctx):
+            def program():
+                return (yield from allgatherv_ring(ctx, [1, 2]))
+
+            return program()
+
+        with pytest.raises(CollectiveError):
+            extract_schedule(3, factory)
+
+    def test_timed_run(self):
+        res, bufs = run_agv([256, 512, 128, 1024], timed=True)
+        check(bufs, [256, 512, 128, 1024])
+        assert res.time > 0
+
+    @settings(deadline=None, max_examples=25)
+    @given(counts=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=12))
+    def test_property_any_counts(self, counts):
+        res, bufs = run_agv(counts)
+        check(bufs, counts)
+        total_sent = sum(s.nbytes for s in res.sends)
+        # Each block travels P-1 hops.
+        assert total_sent == (len(counts) - 1) * sum(counts)
+
+
+class TestConcurrentSubCommunicators:
+    def test_two_halves_run_independent_collectives(self):
+        """Two disjoint sub-communicators run ring allgathers at the same
+        time; tags and communicator translation keep them from cross-
+        matching."""
+        P = 8
+        machine = Machine(ideal(nodes=2, cores_per_node=4), nranks=P)
+        world = Communicator.world(P)
+        counts = [32] * (P // 2)
+        halves = world.split(lambda local: local // (P // 2))
+        total = sum(counts)
+
+        bufs = []
+        for r in range(P):
+            buf = RealBuffer(total)
+            local = r % (P // 2)
+            buf.array[local * 32 : (local + 1) * 32] = local + 1
+            bufs.append(buf)
+
+        def factory(ctx):
+            half = halves[ctx.rank // (P // 2)]
+            sub = ctx.sub(half)
+
+            def program():
+                return (yield from allgatherv_ring(sub, counts))
+
+            return program()
+
+        Job(machine, factory, buffers=bufs).run()
+        for r, buf in enumerate(bufs):
+            for b in range(P // 2):
+                assert (buf.array[b * 32 : (b + 1) * 32] == b + 1).all(), (r, b)

@@ -1,0 +1,124 @@
+"""Tests for the allreduce strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import (
+    allreduce_rabenseifner,
+    allreduce_reduce_bcast,
+    bcast_scatter_ring_native,
+    bcast_scatter_ring_opt,
+)
+from repro.collectives.schedule import extract_schedule
+from repro.errors import CollectiveError
+from repro.machine import Machine, hornet, ideal
+from repro.mpi import Job
+
+
+def run(algo, P, nbytes, timed=False, spec=None, **kw):
+    def factory(ctx):
+        def program():
+            return (yield from algo(ctx, nbytes, **kw))
+
+        return program()
+
+    if timed:
+        machine = Machine(spec or ideal(nodes=4, cores_per_node=16), nranks=P)
+        return Job(machine, factory, working_set=nbytes).run()
+    return extract_schedule(P, factory)
+
+
+class TestReduceBcast:
+    @pytest.mark.parametrize("P", [1, 2, 3, 8, 10, 17])
+    def test_runs_any_p(self, P):
+        res = run(allreduce_reduce_bcast, P, 1000)
+        for r in res.rank_results:
+            assert r.strategy == "reduce_bcast"
+
+    def test_transfer_count(self):
+        # (P-1) reduce + (P-1) scatter + tuned ring.
+        res = run(allreduce_reduce_bcast, 8, 800)
+        assert res.transfers == 7 + 7 + 44
+
+    def test_pluggable_bcast_inherits_tuned_gain(self):
+        """The paper's optimisation composes into allreduce: the tuned
+        broadcast phase makes the whole allreduce faster."""
+        spec = hornet(nodes=2)
+        t_native = run(
+            allreduce_reduce_bcast,
+            16,
+            2**20,
+            timed=True,
+            spec=spec,
+            bcast=bcast_scatter_ring_native,
+        ).time
+        t_opt = run(
+            allreduce_reduce_bcast,
+            16,
+            2**20,
+            timed=True,
+            spec=spec,
+            bcast=bcast_scatter_ring_opt,
+        ).time
+        assert t_opt < t_native
+
+    def test_reduce_cost_applies(self):
+        fast = run(allreduce_reduce_bcast, 8, 1 << 20, timed=True).time
+        slow = run(
+            allreduce_reduce_bcast, 8, 1 << 20, timed=True, reduce_bw=1 << 27
+        ).time
+        assert slow > fast
+
+    def test_negative_size(self):
+        with pytest.raises(CollectiveError):
+            run(allreduce_reduce_bcast, 4, -1)
+
+
+class TestRabenseifner:
+    @pytest.mark.parametrize("P", [1, 2, 4, 8, 16, 32])
+    def test_runs_pof2(self, P):
+        res = run(allreduce_rabenseifner, P, 64 * max(P, 1))
+        for r in res.rank_results:
+            assert r.strategy == "rabenseifner"
+
+    def test_rejects_npof2(self):
+        with pytest.raises(CollectiveError):
+            run(allreduce_rabenseifner, 6, 600)
+
+    def test_transfer_count(self):
+        # log2(P) reduce-scatter rounds + (P-1) ring steps, per rank.
+        res = run(allreduce_rabenseifner, 8, 800)
+        assert res.transfers == 8 * (3 + 7)
+
+    def test_reduce_scatter_halves_payload_each_round(self):
+        res = run(allreduce_rabenseifner, 8, 800)
+        rs = [s for s in res.sends if s.tag == 13 and s.src == 0]
+        assert [s.nbytes for s in rs] == [400, 200, 100]
+
+    def test_beats_reduce_bcast_for_large_vectors(self):
+        """The textbook result: Rabenseifner moves ~2n per rank instead
+        of the reduce+bcast's ~2n with full-vector tree hops, winning on
+        bandwidth-bound inputs."""
+        spec = ideal(nodes=4, cores_per_node=16)
+        n = 1 << 22
+        t_rab = run(allreduce_rabenseifner, 16, n, timed=True, spec=spec).time
+        t_rb = run(allreduce_reduce_bcast, 16, n, timed=True, spec=spec).time
+        assert t_rab < t_rb
+
+    def test_uneven_size(self):
+        res = run(allreduce_rabenseifner, 8, 801)
+        assert res.transfers > 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    logp=st.integers(min_value=0, max_value=5),
+    nbytes=st.integers(min_value=0, max_value=5000),
+)
+def test_property_rabenseifner_structure(logp, nbytes):
+    P = 1 << logp
+    res = run(allreduce_rabenseifner, P, nbytes)
+    # Every rank performs exactly log2(P) + (P-1) send operations,
+    # except that zero-size windows still issue their sendrecv.
+    for rank in range(P):
+        assert len(res.sends_from(rank)) == (logp + P - 1 if P > 1 else 0)

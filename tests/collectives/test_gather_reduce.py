@@ -1,0 +1,154 @@
+"""Tests for the All-to-One collectives (gather, reduce)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import gather, reduce
+from repro.collectives.schedule import extract_schedule
+from repro.errors import CollectiveError
+from repro.machine import Machine, ideal
+from repro.mpi import Job, RealBuffer
+
+
+def run_gather(P, block_bytes, root=0):
+    """Rank rel r contributes block r filled with r+1 (relative layout)."""
+    bufs = []
+    for rank in range(P):
+        rel = (rank - root) % P
+        buf = RealBuffer(P * block_bytes)
+        buf.array[rel * block_bytes : (rel + 1) * block_bytes] = rel + 1
+        bufs.append(buf)
+
+    def factory(ctx):
+        def program():
+            return (yield from gather(ctx, block_bytes, root))
+
+        return program()
+
+    return extract_schedule(P, factory, buffers=bufs), bufs
+
+
+def run_reduce(P, nbytes, root=0, reduce_bw=0.0, timed=False):
+    def factory(ctx):
+        def program():
+            return (yield from reduce(ctx, nbytes, root, reduce_bw=reduce_bw))
+
+        return program()
+
+    if timed:
+        machine = Machine(ideal(nodes=2, cores_per_node=16), nranks=P)
+        return Job(machine, factory).run()
+    return extract_schedule(P, factory)
+
+
+class TestGather:
+    @pytest.mark.parametrize("P", [1, 2, 3, 8, 10, 17])
+    def test_root_collects_every_block(self, P):
+        schedule, bufs = run_gather(P, 16)
+        root_buf = bufs[0]
+        for rel in range(P):
+            blk = root_buf.array[rel * 16 : (rel + 1) * 16]
+            assert (blk == rel + 1).all(), f"block {rel}"
+        assert schedule.rank_results[0].gathered.is_full
+
+    def test_transfer_count_is_p_minus_1(self):
+        schedule, _ = run_gather(8, 16)
+        assert schedule.transfers == 7
+
+    @pytest.mark.parametrize("root", [0, 3, 7])
+    def test_nonzero_root(self, root):
+        schedule, bufs = run_gather(8, 16, root=root)
+        assert schedule.rank_results[root].gathered.is_full
+
+    def test_leaves_send_once_inner_nodes_aggregate(self):
+        schedule, _ = run_gather(8, 16)
+        # Rank 4's message to the root carries its 4-block subtree.
+        to_root = [s for s in schedule.sends if s.dst == 0 and s.src == 4]
+        assert len(to_root) == 1
+        assert to_root[0].chunks == (4, 5, 6, 7)
+
+    def test_mirror_of_scatter(self):
+        """Gather's transfer multiset is the scatter's with src/dst
+        swapped."""
+        from repro.collectives import binomial_scatter
+
+        P, nbytes = 10, 160
+
+        def scatter_factory(ctx):
+            def program():
+                return (yield from binomial_scatter(ctx, nbytes, 0))
+
+            return program()
+
+        sc = extract_schedule(P, scatter_factory)
+        ga, _ = run_gather(P, 16)
+        assert sorted((s.dst, s.src, s.nbytes) for s in sc.sends) == sorted(
+            (s.src, s.dst, s.nbytes) for s in ga.sends
+        )
+
+    def test_zero_block(self):
+        schedule, _ = run_gather(8, 0)
+        assert schedule.transfers == 0
+
+    def test_negative_rejected(self):
+        def factory(ctx):
+            def program():
+                return (yield from gather(ctx, -1))
+
+            return program()
+
+        with pytest.raises(CollectiveError):
+            extract_schedule(4, factory)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("P", [1, 2, 3, 8, 10, 17])
+    def test_root_combines_all_contributions(self, P):
+        schedule = run_reduce(P, 1000)
+        assert schedule.rank_results[0].contributions == P
+
+    def test_every_hop_carries_full_vector(self):
+        schedule = run_reduce(8, 1000)
+        assert all(s.nbytes == 1000 for s in schedule.sends)
+        assert schedule.transfers == 7
+
+    @pytest.mark.parametrize("root", [0, 5])
+    def test_nonzero_root(self, root):
+        schedule = run_reduce(10, 500, root=root)
+        assert schedule.rank_results[root].contributions == 10
+
+    def test_combine_cost_extends_makespan(self):
+        fast = run_reduce(8, 1 << 20, reduce_bw=0.0, timed=True)
+        slow = run_reduce(8, 1 << 20, reduce_bw=1 << 28, timed=True)
+        assert slow.time > fast.time
+
+    def test_bad_args(self):
+        def factory(neg_bw):
+            def f(ctx):
+                def program():
+                    return (yield from reduce(ctx, 100, 0, reduce_bw=neg_bw))
+
+                return program()
+
+            return f
+
+        with pytest.raises(CollectiveError):
+            extract_schedule(4, factory(-1.0))
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    P=st.integers(min_value=1, max_value=24),
+    data=st.data(),
+)
+def test_property_gather_from_any_root(P, data):
+    root = data.draw(st.integers(min_value=0, max_value=P - 1))
+    block = data.draw(st.integers(min_value=1, max_value=64))
+    schedule, bufs = run_gather(P, block, root=root)
+    root_buf = bufs[root]
+    for rel in range(P):
+        blk = root_buf.array[rel * block : (rel + 1) * block]
+        assert (blk == rel + 1).all()
+    # Non-root ranks send exactly once; the root never sends.
+    for s in schedule.sends:
+        assert s.src != root

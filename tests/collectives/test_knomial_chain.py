@@ -1,0 +1,144 @@
+"""Tests for the extension broadcasts: k-nomial tree and pipelined chain."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import bcast_binomial, bcast_chain, bcast_knomial
+from repro.collectives.knomial import knomial_rounds
+from repro.collectives.schedule import extract_schedule
+from repro.errors import CollectiveError
+from repro.machine import Machine, hornet, ideal
+from repro.mpi import Job, RealBuffer
+
+
+def run(algo, P, nbytes, root=0, timed=False, spec=None, **kw):
+    bufs = [RealBuffer(nbytes, fill=(9 if r == root else 0)) for r in range(P)]
+
+    def factory(ctx):
+        def program():
+            return (yield from algo(ctx, nbytes, root, **kw))
+
+        return program()
+
+    if timed:
+        machine = Machine(spec or ideal(nodes=4, cores_per_node=16), nranks=P)
+        res = Job(machine, factory, buffers=bufs).run()
+    else:
+        res = extract_schedule(P, factory, buffers=bufs)
+    return res, bufs
+
+
+def assert_delivered(bufs):
+    for rank, buf in enumerate(bufs):
+        assert (buf.array == 9).all(), f"rank {rank}"
+
+
+class TestKnomial:
+    @pytest.mark.parametrize("radix", [2, 3, 4, 8])
+    @pytest.mark.parametrize("P,root", [(1, 0), (2, 1), (9, 4), (16, 0), (27, 26)])
+    def test_delivers(self, radix, P, root):
+        _, bufs = run(bcast_knomial, P, 500, root=root, radix=radix)
+        assert_delivered(bufs)
+
+    def test_radix2_schedule_equals_binomial(self):
+        P, nbytes = 16, 1600
+        kn, _ = run(bcast_knomial, P, nbytes, radix=2)
+        bi, _ = run(bcast_binomial, P, nbytes)
+        assert [(s.src, s.dst, s.nbytes) for s in kn.sends] == [
+            (s.src, s.dst, s.nbytes) for s in bi.sends
+        ]
+
+    def test_transfer_count_always_p_minus_1(self):
+        for radix in (2, 3, 5):
+            res, _ = run(bcast_knomial, 17, 170, radix=radix)
+            assert res.transfers == 16
+
+    def test_rounds_shrink_with_radix(self):
+        assert knomial_rounds(64, 2) == 6
+        assert knomial_rounds(64, 4) == 3
+        assert knomial_rounds(64, 8) == 2
+        assert knomial_rounds(65, 8) == 3
+
+    def test_higher_radix_wins_small_eager_messages(self):
+        """Fewer rounds -> lower latency when alpha dominates — provided
+        the protocol is eager, so a parent's k-1 child sends overlap
+        instead of serialising a rendezvous round trip each."""
+        spec = ideal(nodes=4, cores_per_node=16, eager_threshold=4096)
+        t2, _ = run(bcast_knomial, 64, 64, radix=2, timed=True, spec=spec)
+        t8, _ = run(bcast_knomial, 64, 64, radix=8, timed=True, spec=spec)
+        assert t8.time < t2.time
+
+    def test_radix2_wins_small_rendezvous_messages(self):
+        """Under rendezvous each child send blocks on a full handshake,
+        so high fan-out serialises and the binomial tree wins even for
+        tiny payloads — the protocol interaction the ablation documents."""
+        t2, _ = run(bcast_knomial, 64, 64, radix=2, timed=True)  # ideal: rendezvous
+        t8, _ = run(bcast_knomial, 64, 64, radix=8, timed=True)
+        assert t2.time < t8.time
+
+    def test_radix2_wins_large_messages(self):
+        """High radix serialises k-1 full-size sends at the root."""
+        n = 1 << 22
+        t2, _ = run(bcast_knomial, 64, n, radix=2, timed=True)
+        t8, _ = run(bcast_knomial, 64, n, radix=8, timed=True)
+        assert t2.time < t8.time
+
+    def test_bad_radix(self):
+        with pytest.raises(CollectiveError):
+            run(bcast_knomial, 4, 100, radix=1)
+
+
+class TestChain:
+    @pytest.mark.parametrize("P,root,seg", [(1, 0, 64), (2, 0, 64), (8, 3, 100), (10, 9, 7)])
+    def test_delivers(self, P, root, seg):
+        _, bufs = run(bcast_chain, P, 501, root=root, segment_bytes=seg)
+        assert_delivered(bufs)
+
+    def test_transfer_count(self):
+        # (P-1) links x nseg segments.
+        res, _ = run(bcast_chain, 8, 1000, segment_bytes=100)
+        assert res.transfers == 7 * 10
+
+    def test_zero_bytes(self):
+        res, _ = run(bcast_chain, 8, 0)
+        assert res.transfers == 0
+
+    def test_pipelining_beats_unsegmented_chain(self):
+        """Many segments overlap the links; one segment serialises them."""
+        n = 1 << 22
+        piped, _ = run(bcast_chain, 16, n, segment_bytes=1 << 18, timed=True)
+        serial, _ = run(bcast_chain, 16, n, segment_bytes=n, timed=True)
+        assert piped.time < serial.time / 2
+
+    def test_bad_segment(self):
+        with pytest.raises(CollectiveError):
+            run(bcast_chain, 4, 100, segment_bytes=0)
+
+    def test_chain_competitive_with_ring_for_lmsg(self):
+        """Sanity: on a contended machine the pipelined chain lands in
+        the same ballpark as the scatter-ring broadcast (within 3x)."""
+        from repro.collectives import bcast_scatter_ring_opt
+
+        n = 1 << 21
+        spec = hornet(nodes=2)
+        chain, _ = run(bcast_chain, 16, n, segment_bytes=1 << 17, timed=True, spec=spec)
+        ring, _ = run(bcast_scatter_ring_opt, 16, n, timed=True, spec=spec)
+        assert chain.time < 3 * ring.time
+        assert ring.time < 3 * chain.time
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    P=st.integers(min_value=1, max_value=20),
+    data=st.data(),
+)
+def test_property_extensions_deliver(P, data):
+    root = data.draw(st.integers(min_value=0, max_value=P - 1))
+    nbytes = data.draw(st.integers(min_value=0, max_value=2000))
+    radix = data.draw(st.integers(min_value=2, max_value=6))
+    seg = data.draw(st.integers(min_value=1, max_value=512))
+    if nbytes:
+        _, bufs = run(bcast_knomial, P, nbytes, root=root, radix=radix)
+        assert_delivered(bufs)
+        _, bufs = run(bcast_chain, P, nbytes, root=root, segment_bytes=seg)
+        assert_delivered(bufs)

@@ -1,0 +1,124 @@
+"""Tests for the standalone reduce-scatter collectives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.reduce_scatter import (
+    reduce_scatter_halving,
+    reduce_scatter_ring,
+)
+from repro.collectives.schedule import extract_schedule
+from repro.errors import CollectiveError
+from repro.machine import Machine, ideal
+from repro.mpi import Job
+
+
+def run_rs(algo, P, nbytes, timed=False, **kw):
+    def factory(ctx):
+        def program():
+            return (yield from algo(ctx, nbytes, **kw))
+
+        return program()
+
+    if timed:
+        machine = Machine(ideal(nodes=2, cores_per_node=max(P, 2)), nranks=P)
+        return Job(machine, factory).run()
+    return extract_schedule(P, factory)
+
+
+class TestHalving:
+    @pytest.mark.parametrize("P", [1, 2, 4, 8, 16, 32])
+    def test_fully_reduced_pof2(self, P):
+        res = run_rs(reduce_scatter_halving, P, 64 * max(P, 1))
+        for rank, r in enumerate(res.rank_results):
+            assert r.chunk == rank
+            assert r.contributions == P
+
+    def test_rejects_npof2(self):
+        with pytest.raises(CollectiveError):
+            run_rs(reduce_scatter_halving, 6, 600)
+
+    def test_log_rounds_halving_payloads(self):
+        res = run_rs(reduce_scatter_halving, 8, 800)
+        from_rank0 = [s for s in res.sends if s.src == 0]
+        assert [s.nbytes for s in from_rank0] == [400, 200, 100]
+        assert res.transfers == 8 * 3
+
+    def test_bandwidth_optimal_vs_ring_for_large_vectors(self):
+        n = 1 << 22
+        t_h = run_rs(reduce_scatter_halving, 16, n, timed=True).time
+        t_r = run_rs(reduce_scatter_ring, 16, n, timed=True).time
+        # Both move ~n(P-1)/P per rank; halving does it in log2 P steps.
+        assert t_h < t_r
+
+    def test_combine_cost(self):
+        fast = run_rs(reduce_scatter_halving, 8, 1 << 20, timed=True).time
+        slow = run_rs(
+            reduce_scatter_halving, 8, 1 << 20, timed=True, reduce_bw=1 << 26
+        ).time
+        assert slow > fast
+
+
+class TestRing:
+    @pytest.mark.parametrize("P", [1, 2, 3, 8, 10, 17])
+    def test_fully_reduced_any_p(self, P):
+        res = run_rs(reduce_scatter_ring, P, 64 * max(P, 1))
+        for rank, r in enumerate(res.rank_results):
+            assert r.chunk == rank
+            assert r.contributions == P
+
+    def test_p_minus_1_steps(self):
+        res = run_rs(reduce_scatter_ring, 10, 1000)
+        assert res.transfers == 10 * 9
+        for r in res.rank_results:
+            assert r.sends == 9 and r.recvs == 9
+
+    def test_partials_flow_right(self):
+        res = run_rs(reduce_scatter_ring, 8, 800)
+        for s in res.sends:
+            assert s.dst == (s.src + 1) % 8
+
+    def test_uneven_sizes(self):
+        res = run_rs(reduce_scatter_ring, 8, 801)
+        for r in res.rank_results:
+            assert r.contributions == 8
+
+    def test_validation(self):
+        with pytest.raises(CollectiveError):
+            run_rs(reduce_scatter_ring, 4, -1)
+        with pytest.raises(CollectiveError):
+            run_rs(reduce_scatter_ring, 4, 100, reduce_bw=-1)
+
+
+class TestConsistencyWithAllreduce:
+    def test_halving_matches_rabenseifner_first_phase(self):
+        """Rabenseifner's reduce-scatter phase is exactly the halving
+        algorithm: same transfer multiset (by src, dst, bytes)."""
+        from repro.collectives import allreduce_rabenseifner
+
+        P, nbytes = 8, 800
+
+        def rab_factory(ctx):
+            def program():
+                return (yield from allreduce_rabenseifner(ctx, nbytes))
+
+            return program()
+
+        rab = extract_schedule(P, rab_factory)
+        rab_rs = sorted(
+            (s.src, s.dst, s.nbytes) for s in rab.sends if s.tag == 13
+        )
+        halv = run_rs(reduce_scatter_halving, P, nbytes)
+        halv_rs = sorted((s.src, s.dst, s.nbytes) for s in halv.sends)
+        assert rab_rs == halv_rs
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    P=st.integers(min_value=1, max_value=24),
+    nbytes=st.integers(min_value=0, max_value=3000),
+)
+def test_property_ring_reduce_scatter_always_complete(P, nbytes):
+    res = run_rs(reduce_scatter_ring, P, nbytes)
+    for rank, r in enumerate(res.rank_results):
+        assert r.chunk == rank and r.contributions == P

@@ -1,0 +1,80 @@
+"""Tests for MPI_Scan (linear and recursive doubling)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import scan_linear, scan_recursive_doubling
+from repro.collectives.schedule import extract_schedule
+from repro.errors import CollectiveError
+from repro.machine import Machine, ideal
+from repro.mpi import Job
+from repro.util import ceil_log2
+
+
+def run_scan(algo, P, nbytes=100, timed=False, **kw):
+    def factory(ctx):
+        def program():
+            return (yield from algo(ctx, nbytes, **kw))
+
+        return program()
+
+    if timed:
+        machine = Machine(ideal(nodes=2, cores_per_node=max(P, 2)), nranks=P)
+        return Job(machine, factory).run()
+    return extract_schedule(P, factory)
+
+
+class TestInclusivity:
+    @pytest.mark.parametrize("algo", [scan_linear, scan_recursive_doubling])
+    @pytest.mark.parametrize("P", [1, 2, 3, 7, 8, 16, 17])
+    def test_rank_r_folds_r_plus_1_contributions(self, algo, P):
+        res = run_scan(algo, P)
+        for rank, result in enumerate(res.rank_results):
+            assert result.contributions == rank + 1
+
+
+class TestStructure:
+    def test_linear_transfer_count(self):
+        res = run_scan(scan_linear, 8)
+        assert res.transfers == 7
+        # Strictly a chain: rank r sends only to r+1.
+        for s in res.sends:
+            assert s.dst == s.src + 1
+
+    def test_rd_transfer_count(self):
+        # Every rank r sends once per round while r + 2^k < P.
+        P = 8
+        res = run_scan(scan_recursive_doubling, P)
+        expected = sum(
+            sum(1 for k in range(ceil_log2(P)) if r + (1 << k) < P) for r in range(P)
+        )
+        assert res.transfers == expected
+
+    def test_rd_fewer_sequential_steps(self):
+        """Recursive doubling finishes in O(log P) simulated time vs the
+        chain's O(P)."""
+        t_lin = run_scan(scan_linear, 32, nbytes=1000, timed=True).time
+        t_rd = run_scan(scan_recursive_doubling, 32, nbytes=1000, timed=True).time
+        assert t_rd < t_lin / 2
+
+    def test_combine_cost(self):
+        fast = run_scan(scan_linear, 8, nbytes=1 << 20, timed=True).time
+        slow = run_scan(
+            scan_linear, 8, nbytes=1 << 20, timed=True, reduce_bw=1 << 26
+        ).time
+        assert slow > fast
+
+    def test_validation(self):
+        with pytest.raises(CollectiveError):
+            run_scan(scan_linear, 4, nbytes=-1)
+        with pytest.raises(CollectiveError):
+            run_scan(scan_recursive_doubling, 4, reduce_bw=-1.0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(P=st.integers(min_value=1, max_value=40))
+def test_property_both_scans_inclusive(P):
+    for algo in (scan_linear, scan_recursive_doubling):
+        res = run_scan(algo, P, nbytes=16)
+        for rank, result in enumerate(res.rank_results):
+            assert result.contributions == rank + 1

@@ -1,0 +1,112 @@
+"""Tests for the three-phase SMP-aware broadcast."""
+
+import pytest
+
+from repro.collectives import bcast_scatter_ring_opt, bcast_smp
+from repro.collectives.schedule import extract_schedule
+from repro.errors import CollectiveError
+from repro.machine import Machine, ideal
+from repro.mpi import Job, RealBuffer
+
+
+def run_smp(P, nbytes, root=0, nodes=4, cores=4, inner=None, timed=False):
+    machine = Machine(ideal(nodes=nodes, cores_per_node=cores), nranks=P)
+    bufs = [RealBuffer(nbytes, fill=(13 if r == root else 0)) for r in range(P)]
+    kwargs = {"placement": machine.placement}
+    if inner is not None:
+        kwargs["inner"] = inner
+
+    def factory(ctx):
+        def program():
+            return (yield from bcast_smp(ctx, nbytes, root, **kwargs))
+
+        return program()
+
+    if timed:
+        return Job(machine, factory, buffers=bufs).run(), bufs, machine
+    return extract_schedule(P, factory, buffers=bufs, placement=machine.placement), bufs, machine
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("P,root", [(16, 0), (16, 5), (10, 9), (7, 3)])
+    def test_all_ranks_complete(self, P, root):
+        schedule, bufs, _ = run_smp(P, 777, root=root)
+        for rank, buf in enumerate(bufs):
+            assert (buf.array == 13).all(), f"rank {rank}"
+
+    def test_single_node_degenerates_to_intra_bcast(self):
+        schedule, bufs, _ = run_smp(4, 100, nodes=1, cores=8)
+        intra, inter = schedule.transfers_by_level()
+        assert inter == 0
+        for buf in bufs:
+            assert (buf.array == 13).all()
+
+    def test_single_rank(self):
+        schedule, bufs, _ = run_smp(1, 64)
+        assert schedule.transfers == 0
+
+    def test_tuned_inner_works(self):
+        schedule, bufs, _ = run_smp(16, 1600, inner=bcast_scatter_ring_opt)
+        for buf in bufs:
+            assert (buf.array == 13).all()
+
+    def test_missing_placement_rejected(self):
+        machine = Machine(ideal(), nranks=4)
+
+        def factory(ctx):
+            def program():
+                return (yield from bcast_smp(ctx, 100, 0))
+
+            return program()
+
+        with pytest.raises(CollectiveError):
+            extract_schedule(4, factory)
+
+
+class TestPhaseStructure:
+    def test_inter_node_traffic_only_between_leaders(self):
+        """Phase 2 is the only inter-node traffic, and it connects node
+        leaders only (root acts as its node's leader)."""
+        P, root = 16, 5
+        schedule, _, machine = run_smp(P, 1600, root=root)
+        placement = machine.placement
+        root_node = placement.node_of(root)
+        leaders = {
+            (root if node == root_node else placement.ranks_on(node)[0])
+            for node in placement.used_nodes()
+        }
+        for s in schedule.sends:
+            if placement.node_of(s.src) != placement.node_of(s.dst):
+                assert s.src in leaders and s.dst in leaders
+
+    def test_intra_phases_use_binomial_tag(self):
+        schedule, _, machine = run_smp(16, 1600)
+        placement = machine.placement
+        for s in schedule.sends:
+            if placement.node_of(s.src) == placement.node_of(s.dst):
+                assert s.tag == 4  # binomial bcast tag
+
+    def test_fewer_inter_node_messages_than_flat_ring(self):
+        """The point of SMP awareness: only leaders talk across nodes."""
+        from repro.collectives import bcast_scatter_ring_native
+
+        P = 16
+        machine = Machine(ideal(nodes=4, cores_per_node=4), nranks=P)
+
+        def flat_factory(ctx):
+            def program():
+                return (yield from bcast_scatter_ring_native(ctx, 1600, 0))
+
+            return program()
+
+        flat = extract_schedule(P, flat_factory, placement=machine.placement)
+        smp, _, _ = run_smp(P, 1600)
+        _, flat_inter = flat.transfers_by_level()
+        _, smp_inter = smp.transfers_by_level()
+        assert smp_inter < flat_inter
+
+    def test_timed_run_completes(self):
+        res, bufs, _ = run_smp(16, 4096, timed=True)
+        assert res.time > 0
+        for buf in bufs:
+            assert (buf.array == 13).all()

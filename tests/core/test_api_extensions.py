@@ -1,0 +1,123 @@
+"""Tests for the measurement-loop, allgather API and jitter extensions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compare_bcast, simulate_allgather, simulate_bcast
+from repro.errors import ConfigurationError
+from repro.machine import Machine, hornet, ideal
+from repro.mpi import Job, RealBuffer
+
+
+class TestIterations:
+    def test_per_iteration_time_close_to_single(self):
+        spec = ideal(nodes=2, cores_per_node=8)
+        one = simulate_bcast(spec, 8, 65536, algorithm="scatter_ring_opt")
+        many = simulate_bcast(
+            spec, 8, 65536, algorithm="scatter_ring_opt", iterations=10
+        )
+        # Barrier overhead only: within a few percent for 64KiB messages.
+        assert many.time == pytest.approx(one.time, rel=0.10)
+        assert many.time >= one.time  # barrier adds, never removes
+
+    def test_message_counts_are_per_iteration(self):
+        spec = ideal(nodes=2, cores_per_node=8)
+        one = simulate_bcast(spec, 8, 65536, algorithm="scatter_ring_opt")
+        many = simulate_bcast(
+            spec, 8, 65536, algorithm="scatter_ring_opt", iterations=4
+        )
+        # Per-iteration messages = bcast msgs + barrier tokens (8*3).
+        assert many.messages == one.messages + 8 * 3
+        assert many.bytes_on_wire == one.bytes_on_wire  # tokens carry 0 bytes
+
+    def test_validate_with_iterations(self):
+        spec = ideal(nodes=2, cores_per_node=8)
+        rec = simulate_bcast(
+            spec, 9, 900, algorithm="scatter_ring_opt", validate=True, iterations=3
+        )
+        assert rec.time > 0
+
+    def test_bad_iterations(self):
+        with pytest.raises(ConfigurationError):
+            simulate_bcast(ideal(), 4, 100, iterations=0)
+
+
+class TestSimulateAllgather:
+    @pytest.mark.parametrize("algo", ["ring", "rdbl", "bruck"])
+    def test_algorithms_run(self, algo):
+        rec = simulate_allgather(ideal(), 8, "16KiB", algorithm=algo)
+        assert rec.algorithm == f"allgather_{algo}"
+        assert rec.nbytes == 8 * 16 * 1024
+        assert rec.time > 0
+
+    def test_bruck_handles_npof2(self):
+        rec = simulate_allgather(ideal(), 10, 4096, algorithm="bruck")
+        assert rec.messages > 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            simulate_allgather(ideal(), 8, 1024, algorithm="hypercube")
+
+    def test_ring_vs_bruck_tradeoff(self):
+        """Bruck: fewer steps (latency); ring: no wrapped double-messages
+        and better per-step bandwidth shape. For tiny blocks at large P,
+        Bruck must win."""
+        spec = ideal(nodes=4, cores_per_node=16)
+        ring = simulate_allgather(spec, 64, 64, algorithm="ring")
+        bruck = simulate_allgather(spec, 64, 64, algorithm="bruck")
+        assert bruck.time < ring.time
+
+
+class TestJitter:
+    def test_jitter_reproducible_by_seed(self):
+        spec = hornet(nodes=2, jitter_sigma=0.2, seed=42)
+        t1 = simulate_bcast(spec, 16, 65536, algorithm="scatter_ring_opt").time
+        t2 = simulate_bcast(spec, 16, 65536, algorithm="scatter_ring_opt").time
+        assert t1 == t2
+
+    def test_different_seed_different_time(self):
+        base = dict(nodes=2, jitter_sigma=0.2)
+        t1 = simulate_bcast(
+            hornet(seed=1, **base), 16, 65536, algorithm="scatter_ring_opt"
+        ).time
+        t2 = simulate_bcast(
+            hornet(seed=2, **base), 16, 65536, algorithm="scatter_ring_opt"
+        ).time
+        assert t1 != t2
+
+    def test_zero_sigma_is_bitwise_deterministic_baseline(self):
+        spec_nojit = hornet(nodes=2, seed=7)
+        spec_jit0 = hornet(nodes=2, jitter_sigma=0.0, seed=99)
+        t1 = simulate_bcast(spec_nojit, 8, 65536).time
+        t2 = simulate_bcast(spec_jit0, 8, 65536).time
+        assert t1 == t2
+
+    def test_data_correct_under_jitter(self):
+        spec = hornet(nodes=2, jitter_sigma=0.3, seed=3)
+        rec = simulate_bcast(
+            spec, 10, 10_000, algorithm="scatter_ring_opt", validate=True
+        )
+        assert rec.time > 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    P=st.integers(min_value=2, max_value=16),
+    data=st.data(),
+)
+def test_property_end_to_end_des_bcast(P, data):
+    """Random machine shapes x random roots/sizes: the timed DES with
+    real buffers always delivers the full payload everywhere, for both
+    ring designs, and the tuned one is never slower."""
+    cores = data.draw(st.integers(min_value=1, max_value=8))
+    nodes = -(-P // cores)
+    root = data.draw(st.integers(min_value=0, max_value=P - 1))
+    nbytes = data.draw(st.integers(min_value=1, max_value=5000))
+    spec = hornet(nodes=nodes, cores_per_node=cores)
+    times = {}
+    for algo in ("scatter_ring_native", "scatter_ring_opt"):
+        rec = simulate_bcast(
+            spec, P, nbytes, algorithm=algo, root=root, validate=True
+        )
+        times[algo] = rec.time
+    assert times["scatter_ring_opt"] <= times["scatter_ring_native"] * (1 + 1e-9)

@@ -1,0 +1,88 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.nranks == 64 and args.nbytes == "1MiB"
+        assert args.machine == "hornet"
+
+    def test_machine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--machine", "summit"])
+
+
+class TestCommands:
+    def test_compare_output(self, capsys):
+        rc = main(["compare", "--nranks", "8", "--nodes", "2", "--nbytes", "256KiB"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "P=8" in out and "MB/s" in out
+
+    def test_sweep_output(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--nranks",
+                "8",
+                "--nodes",
+                "2",
+                "--sizes",
+                "64KiB,128KiB",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "64KiB" in out and "improvement" in out
+
+    def test_traffic_output(self, capsys):
+        rc = main(["traffic", "--procs", "8,10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "56" in out and "44" in out and "90" in out and "75" in out
+
+    def test_laki_preset(self, capsys):
+        rc = main(
+            ["compare", "--machine", "laki", "--nranks", "8", "--nbytes", "128KiB"]
+        )
+        assert rc == 0
+        assert "P=8" in capsys.readouterr().out
+
+    def test_round_robin_placement(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--nranks",
+                "8",
+                "--nodes",
+                "2",
+                "--placement",
+                "round_robin",
+            ]
+        )
+        assert rc == 0
+
+    def test_validate_all_algorithms(self, capsys):
+        rc = main(
+            ["validate", "--nranks", "8", "--nodes", "2", "--nbytes", "16KiB"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("OK") >= 5  # every applicable algorithm passed
+        assert "scatter_ring_opt" in out
+
+    def test_validate_npof2_skips_rdbl(self, capsys):
+        rc = main(
+            ["validate", "--nranks", "9", "--nodes", "2", "--nbytes", "16KiB"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "skipped (needs pof2)" in out

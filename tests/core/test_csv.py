@@ -1,0 +1,56 @@
+"""Tests for the sweep CSV export."""
+
+import io
+
+import pytest
+
+from repro.core import Sweep
+from repro.errors import ConfigurationError
+from repro.machine import ideal
+
+
+def tiny_sweep():
+    return Sweep(
+        ideal(nodes=2, cores_per_node=8),
+        sizes=[4096, 8192],
+        ranks=[4],
+        algorithms=["scatter_ring_native", "scatter_ring_opt"],
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = tiny_sweep().to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("algorithm,nranks,nbytes,time_s,bandwidth_mib")
+        assert len(lines) == 1 + 2 * 2  # header + algorithms x sizes
+
+    def test_values_parse_back(self):
+        sweep = tiny_sweep()
+        text = sweep.to_csv()
+        rows = [line.split(",") for line in text.strip().splitlines()[1:]]
+        for row in rows:
+            algo, nranks, nbytes, time_s = row[0], int(row[1]), int(row[2]), float(row[3])
+            rec = sweep.record(algo, nranks, nbytes)
+            assert rec.time == time_s  # repr() round-trips floats exactly
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        tiny_sweep().to_csv(str(path))
+        assert path.read_text().startswith("algorithm,")
+
+    def test_write_to_fileobj(self):
+        buf = io.StringIO()
+        tiny_sweep().to_csv(buf)
+        assert buf.getvalue().startswith("algorithm,")
+
+    def test_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            tiny_sweep().to_csv(42)
+
+    def test_counts_split_sums(self):
+        text = tiny_sweep().to_csv()
+        for line in text.strip().splitlines()[1:]:
+            cols = line.split(",")
+            messages, intra, inter = int(cols[5]), int(cols[7]), int(cols[8])
+            assert intra + inter == messages

@@ -1,0 +1,80 @@
+"""Unit tests for the regime-map machinery."""
+
+import pytest
+
+from repro.core import RegimeCell, regime_map, selector_agreement
+from repro.errors import ConfigurationError
+from repro.machine import hornet, ideal
+
+
+class TestRegimeMap:
+    def test_small_grid(self):
+        cells = regime_map(
+            hornet(nodes=2), ranks=[8], sizes=[2048, 2**20]
+        )
+        assert len(cells) == 2
+        small, large = cells
+        assert small.winner == "binomial"
+        assert large.winner.startswith("scatter_ring")
+        assert large.winner_time == large.times[large.winner]
+
+    def test_npof2_skips_rdbl(self):
+        (cell,) = regime_map(hornet(nodes=2), ranks=[9], sizes=[2**19])
+        assert "scatter_rdbl" not in cell.times
+        assert set(cell.times) == {
+            "binomial",
+            "scatter_ring_native",
+            "scatter_ring_opt",
+        }
+
+    def test_custom_candidates(self):
+        (cell,) = regime_map(
+            ideal(),
+            ranks=[4],
+            sizes=[4096],
+            candidates=["binomial", "chain"],
+        )
+        assert set(cell.times) == {"binomial", "chain"}
+
+    def test_size_strings(self):
+        (cell,) = regime_map(ideal(), ranks=[4], sizes=["4KiB"])
+        assert cell.nbytes == 4096
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regime_map(ideal(), ranks=[], sizes=[1])
+        with pytest.raises(ConfigurationError):
+            regime_map(ideal(), ranks=[4], sizes=[])
+
+
+class TestAgreement:
+    def _cell(self, winner, mpich):
+        return RegimeCell(
+            nranks=8,
+            nbytes=1024,
+            winner=winner,
+            winner_time=1.0,
+            times={winner: 1.0},
+            mpich_choice=mpich,
+        )
+
+    def test_exact_match(self):
+        assert self._cell("binomial", "binomial").selector_agrees
+
+    def test_family_match_ignores_tuning(self):
+        assert self._cell("scatter_ring_native", "scatter_ring_opt").selector_agrees
+        assert self._cell("scatter_ring_opt", "scatter_ring_native").selector_agrees
+
+    def test_family_mismatch(self):
+        assert not self._cell("binomial", "scatter_rdbl").selector_agrees
+
+    def test_fraction(self):
+        cells = [
+            self._cell("binomial", "binomial"),
+            self._cell("binomial", "scatter_rdbl"),
+        ]
+        assert selector_agreement(cells) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            selector_agreement([])

@@ -1,0 +1,79 @@
+"""Tests for the parameter-sweep driver."""
+
+import pytest
+
+from repro.core import Sweep, SweepPoint
+from repro.errors import ConfigurationError
+from repro.machine import hornet, ideal
+
+
+def small_sweep(**kw):
+    args = dict(
+        spec=ideal(nodes=4, cores_per_node=8),
+        sizes=["16KiB", "64KiB"],
+        ranks=[4, 8],
+        algorithms=["scatter_ring_native", "scatter_ring_opt"],
+    )
+    args.update(kw)
+    return Sweep(**args)
+
+
+class TestSweep:
+    def test_points_cross_product(self):
+        sweep = small_sweep()
+        assert len(sweep.points()) == 2 * 2 * 2
+
+    def test_run_returns_all_records(self):
+        sweep = small_sweep()
+        records = sweep.run()
+        assert len(records) == 8
+        assert all(r.time > 0 for r in records)
+
+    def test_cache_hits(self):
+        sweep = small_sweep()
+        r1 = sweep.record("scatter_ring_opt", 8, "16KiB")
+        r2 = sweep.record("scatter_ring_opt", 8, "16KiB")
+        assert r1 is r2  # memoised
+
+    def test_series_shape(self):
+        sweep = small_sweep()
+        xs, ys = sweep.series("scatter_ring_opt", 8)
+        assert xs == [16 * 1024, 64 * 1024]
+        assert len(ys) == 2 and all(y > 0 for y in ys)
+
+    def test_compare(self):
+        sweep = small_sweep(spec=hornet(nodes=2))
+        cmp = sweep.compare(8, "64KiB", "scatter_ring_native", "scatter_ring_opt")
+        assert cmp.nranks == 8
+        assert cmp.opt.time <= cmp.native.time * (1 + 1e-9)
+
+    def test_peak_bandwidth(self):
+        sweep = small_sweep()
+        peak = sweep.peak_bandwidth("scatter_ring_opt", 8)
+        _, ys = sweep.series("scatter_ring_opt", 8)
+        assert peak == max(ys)
+
+    def test_to_table_renders_rows(self):
+        sweep = small_sweep(spec=hornet(nodes=2))
+        table = sweep.to_table(
+            8, "scatter_ring_native", "scatter_ring_opt", title="Fig test"
+        )
+        text = table.render()
+        assert "16KiB" in text and "64KiB" in text
+        assert "improvement" in text
+        assert "Fig test" in text
+
+    def test_progress_hook(self):
+        sweep = small_sweep()
+        seen = []
+        sweep.run(progress=seen.append)
+        assert len(seen) == 8
+        assert isinstance(seen[0], SweepPoint)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_sweep(sizes=[])
+        with pytest.raises(ConfigurationError):
+            small_sweep(ranks=[])
+        with pytest.raises(ConfigurationError):
+            small_sweep(algorithms=[])

@@ -1,0 +1,62 @@
+"""Tests for the cache/memory-pressure effectiveness model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.machine import MachineSpec, copy_effectiveness, working_set_bytes
+from repro.util import MIB, GIB
+
+SPEC = MachineSpec(l3_bytes=30 * MIB, l3_penalty=0.5, mem_pressure_bytes=1 * GIB, mem_penalty=0.8)
+
+
+class TestWorkingSet:
+    def test_scales_with_colocated_ranks(self):
+        assert working_set_bytes(1 * MIB, 24) == 24 * MIB
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(MachineError):
+            working_set_bytes(-1, 1)
+        with pytest.raises(MachineError):
+            working_set_bytes(1, 0)
+
+
+class TestEffectiveness:
+    def test_small_working_set_is_unpenalized(self):
+        assert copy_effectiveness(SPEC, 1 * MIB) == 1.0
+        assert copy_effectiveness(SPEC, 30 * MIB) == 1.0
+
+    def test_far_past_l3_hits_floor(self):
+        assert copy_effectiveness(SPEC, 100 * MIB) == pytest.approx(0.5)
+
+    def test_ramp_is_strictly_between(self):
+        mid = copy_effectiveness(SPEC, 45 * MIB)
+        assert 0.5 < mid < 1.0
+
+    def test_memory_pressure_compounds(self):
+        eff = copy_effectiveness(SPEC, 4 * GIB)
+        assert eff == pytest.approx(0.5 * 0.8)
+
+    def test_penalty_one_disables_effect(self):
+        spec = SPEC.with_(l3_penalty=1.0, mem_penalty=1.0)
+        assert copy_effectiveness(spec, 10 * GIB) == 1.0
+
+    def test_rejects_negative_working_set(self):
+        with pytest.raises(MachineError):
+            copy_effectiveness(SPEC, -1)
+
+    def test_knee_appears_earlier_with_more_ranks(self):
+        """The paper's 3 MiB @256p vs 4 MiB @16p ordering: with more
+        co-located ranks the same message size produces a bigger working
+        set and hence a lower effectiveness."""
+        msg = 2 * MIB
+        eff_16 = copy_effectiveness(SPEC, working_set_bytes(msg, 16))
+        eff_24 = copy_effectiveness(SPEC, working_set_bytes(msg, 24))
+        assert eff_24 <= eff_16
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_bounded_and_monotone(self, ws):
+        eff = copy_effectiveness(SPEC, ws)
+        assert 0.0 < eff <= 1.0
+        # Monotone non-increasing: compare with a slightly larger set.
+        assert copy_effectiveness(SPEC, ws + (1 << 20)) <= eff + 1e-12

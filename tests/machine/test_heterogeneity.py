@@ -1,0 +1,90 @@
+"""Tests for straggler / heterogeneity injection (Machine.cpu_scale)."""
+
+import pytest
+
+from repro.collectives import bcast_scatter_ring_native, bcast_scatter_ring_opt
+from repro.errors import MachineError
+from repro.machine import Machine, ideal
+from repro.mpi import Job
+
+
+def bcast_time(algo, machine, nbytes=2**20):
+    def factory(ctx):
+        def program():
+            return (yield from algo(ctx, nbytes, 0))
+
+        return program()
+
+    return Job(machine, factory).run().time
+
+
+class TestCpuScale:
+    def test_default_uniform(self):
+        m = Machine(ideal(), nranks=4)
+        assert all(c.capacity == m.spec.cpu_copy_bw for c in m.cpu)
+
+    def test_dict_form(self):
+        m = Machine(ideal(), nranks=4, cpu_scale={2: 0.5})
+        assert m.cpu[2].capacity == pytest.approx(0.5 * m.spec.cpu_copy_bw)
+        assert m.cpu[0].capacity == m.spec.cpu_copy_bw
+
+    def test_sequence_form(self):
+        m = Machine(ideal(), nranks=3, cpu_scale=[1.0, 2.0, 0.25])
+        assert m.cpu[1].capacity == pytest.approx(2.0 * m.spec.cpu_copy_bw)
+
+    def test_bad_rank(self):
+        with pytest.raises(MachineError):
+            Machine(ideal(), nranks=2, cpu_scale={5: 0.5})
+
+    def test_bad_length(self):
+        with pytest.raises(MachineError):
+            Machine(ideal(), nranks=3, cpu_scale=[1.0, 1.0])
+
+    def test_nonpositive_factor(self):
+        with pytest.raises(MachineError):
+            Machine(ideal(), nranks=2, cpu_scale={0: 0.0})
+
+
+class TestStragglerStudies:
+    def test_straggler_slows_the_ring(self):
+        spec = ideal(nodes=2, cores_per_node=8)
+        clean = bcast_time(
+            bcast_scatter_ring_native, Machine(spec, nranks=16)
+        )
+        degraded = bcast_time(
+            bcast_scatter_ring_native,
+            Machine(spec, nranks=16, cpu_scale={7: 0.25}),
+        )
+        # The ring serialises through every rank: one slow rank hurts.
+        assert degraded > clean * 1.5
+
+    def test_tuned_ring_not_more_straggler_sensitive(self):
+        """The optimisation must not make the broadcast more fragile:
+        with a 4x straggler the tuned ring stays at least as fast as the
+        native one."""
+        spec = ideal(nodes=2, cores_per_node=8)
+        for straggler in (0, 7, 15):
+            scale = {straggler: 0.25}
+            t_native = bcast_time(
+                bcast_scatter_ring_native,
+                Machine(spec, nranks=16, cpu_scale=scale),
+            )
+            t_opt = bcast_time(
+                bcast_scatter_ring_opt,
+                Machine(spec, nranks=16, cpu_scale=scale),
+            )
+            assert t_opt <= t_native * (1 + 1e-9), straggler
+
+    def test_fast_rank_cannot_beat_ring_structure(self):
+        """Speeding one rank up leaves the makespan within a whisker —
+        the ring is only as fast as its slowest link."""
+        spec = ideal(nodes=2, cores_per_node=8)
+        clean = bcast_time(
+            bcast_scatter_ring_native, Machine(spec, nranks=16)
+        )
+        boosted = bcast_time(
+            bcast_scatter_ring_native,
+            Machine(spec, nranks=16, cpu_scale={3: 4.0}),
+        )
+        assert boosted <= clean * (1 + 1e-9)
+        assert boosted > clean * 0.9

@@ -1,0 +1,188 @@
+"""Tests for the fabric topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import (
+    CrossbarTopology,
+    DragonflyTopology,
+    FatTreeTopology,
+    GraphTopology,
+    node_key,
+)
+
+GIB = 1 << 30
+
+
+class TestCrossbar:
+    def test_ideal_has_no_fabric_resources(self):
+        topo = CrossbarTopology(8, nic_bw=GIB)
+        route = topo.route(0, 5)
+        assert route.resources == ()
+        assert route.hops == 2
+        assert topo.all_resources() == []
+
+    def test_tapered_core_shared_by_all_routes(self):
+        topo = CrossbarTopology(8, nic_bw=GIB, core_taper=0.5)
+        r1 = topo.route(0, 5)
+        r2 = topo.route(3, 7)
+        assert r1.resources == r2.resources
+        assert r1.resources[0].capacity == pytest.approx(0.5 * 8 * GIB)
+
+    def test_route_cached(self):
+        topo = CrossbarTopology(4, nic_bw=GIB)
+        assert topo.route(0, 1) is topo.route(0, 1)
+
+    def test_self_route_rejected(self):
+        with pytest.raises(MachineError):
+            CrossbarTopology(4, nic_bw=GIB).route(2, 2)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(MachineError):
+            CrossbarTopology(4, nic_bw=GIB).route(0, 4)
+
+    def test_bad_params(self):
+        with pytest.raises(MachineError):
+            CrossbarTopology(0, nic_bw=GIB)
+        with pytest.raises(MachineError):
+            CrossbarTopology(4, nic_bw=0)
+        with pytest.raises(MachineError):
+            CrossbarTopology(4, nic_bw=GIB, core_taper=-1)
+
+    def test_graph_is_star(self):
+        g = CrossbarTopology(5, nic_bw=GIB).graph()
+        assert g.degree("core") == 10  # 5 in + 5 out
+
+
+class TestFatTree:
+    def test_same_leaf_no_fabric(self):
+        topo = FatTreeTopology(8, nic_bw=GIB, radix=4)
+        assert topo.route(0, 3).resources == ()
+        assert topo.route(0, 3).hops == 2
+
+    def test_cross_leaf_uses_up_and_down(self):
+        topo = FatTreeTopology(8, nic_bw=GIB, radix=4, uplink_taper=0.5)
+        route = topo.route(1, 6)
+        assert route.hops == 4
+        names = [r.name for r in route.resources]
+        assert names == ["leaf0.up", "leaf1.down"]
+        assert route.resources[0].capacity == pytest.approx(0.5 * 4 * GIB)
+
+    def test_reverse_route_uses_other_links(self):
+        topo = FatTreeTopology(8, nic_bw=GIB, radix=4)
+        fwd = {r.name for r in topo.route(0, 7).resources}
+        rev = {r.name for r in topo.route(7, 0).resources}
+        assert fwd.isdisjoint(rev)
+
+    def test_leaf_count_rounds_up(self):
+        assert FatTreeTopology(9, nic_bw=GIB, radix=4).n_leaves == 3
+
+    def test_bad_params(self):
+        with pytest.raises(MachineError):
+            FatTreeTopology(4, nic_bw=GIB, radix=0)
+        with pytest.raises(MachineError):
+            FatTreeTopology(4, nic_bw=GIB, uplink_taper=0)
+
+    def test_graph_routes_match_resources(self):
+        """Shortest graph paths traverse exactly the route's resources."""
+        topo = FatTreeTopology(8, nic_bw=GIB, radix=4)
+        g = topo.graph()
+        path = nx.shortest_path(g, ("node", 1), ("node", 6))
+        edge_res = [
+            g.edges[u, v]["resource"]
+            for u, v in zip(path, path[1:])
+            if g.edges[u, v]["resource"] is not None
+        ]
+        assert tuple(edge_res) == topo.route(1, 6).resources
+
+
+class TestDragonfly:
+    def test_same_group_local_only(self):
+        topo = DragonflyTopology(8, nic_bw=GIB, group_size=4)
+        route = topo.route(0, 3)
+        assert [r.kind for r in route.resources] == ["fabric-local"]
+
+    def test_cross_group_path(self):
+        topo = DragonflyTopology(8, nic_bw=GIB, group_size=4, global_taper=0.25)
+        route = topo.route(0, 5)
+        kinds = [r.kind for r in route.resources]
+        assert kinds == [
+            "fabric-local",
+            "fabric-global",
+            "fabric-global",
+            "fabric-local",
+        ]
+        assert route.hops > topo.route(0, 3).hops
+        # Global capacity is tapered: 0.25 * 4 * nic.
+        assert route.resources[1].capacity == pytest.approx(0.25 * 4 * GIB)
+
+    def test_groups_round_up(self):
+        assert DragonflyTopology(9, nic_bw=GIB, group_size=4).n_groups == 3
+
+    def test_all_resources_deterministic_order(self):
+        topo = DragonflyTopology(8, nic_bw=GIB, group_size=4)
+        names = [r.name for r in topo.all_resources()]
+        assert names == [
+            "grp0.local",
+            "grp0.gout",
+            "grp0.gin",
+            "grp1.local",
+            "grp1.gout",
+            "grp1.gin",
+        ]
+
+    def test_bad_params(self):
+        with pytest.raises(MachineError):
+            DragonflyTopology(4, nic_bw=GIB, group_size=0)
+        with pytest.raises(MachineError):
+            DragonflyTopology(4, nic_bw=GIB, global_taper=0)
+
+    def test_graph_is_connected(self):
+        g = DragonflyTopology(12, nic_bw=GIB, group_size=4).graph()
+        assert nx.is_strongly_connected(g)
+
+
+class TestGraphTopology:
+    def _line_graph(self, caps):
+        """node0 -- sw -- node1 with the given two capacities."""
+        g = nx.DiGraph()
+        g.add_edge(node_key(0), "sw", capacity=caps[0])
+        g.add_edge("sw", node_key(1), capacity=caps[1])
+        g.add_edge(node_key(1), "sw", capacity=caps[1])
+        g.add_edge("sw", node_key(0), capacity=caps[0])
+        return g
+
+    def test_route_collects_capacitated_edges(self):
+        topo = GraphTopology(2, nic_bw=GIB, graph=self._line_graph([GIB, 2 * GIB]))
+        route = topo.route(0, 1)
+        assert route.hops == 2
+        assert len(route.resources) == 2
+
+    def test_none_capacity_edges_are_transparent(self):
+        g = self._line_graph([GIB, GIB])
+        g.add_edge(node_key(0), node_key(1), capacity=None)
+        topo = GraphTopology(2, nic_bw=GIB, graph=g)
+        # Direct edge is shorter and carries no resource.
+        route = topo.route(0, 1)
+        assert route.hops == 1 and route.resources == ()
+
+    def test_missing_vertex_rejected(self):
+        with pytest.raises(MachineError):
+            GraphTopology(3, nic_bw=GIB, graph=self._line_graph([GIB, GIB]))
+
+    def test_no_path_rejected(self):
+        g = nx.DiGraph()
+        g.add_node(node_key(0))
+        g.add_node(node_key(1))
+        topo = GraphTopology(2, nic_bw=GIB, graph=g)
+        with pytest.raises(MachineError):
+            topo.route(0, 1)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(MachineError):
+            GraphTopology(2, nic_bw=GIB, graph=self._line_graph([0, GIB]))
+
+    def test_all_resources_listed(self):
+        topo = GraphTopology(2, nic_bw=GIB, graph=self._line_graph([GIB, GIB]))
+        assert len(topo.all_resources()) == 4

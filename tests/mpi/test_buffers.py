@@ -1,0 +1,92 @@
+"""Tests for real and phantom message buffers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError, TruncationError
+from repro.mpi import RealBuffer, PhantomBuffer, make_buffer
+
+
+class TestRealBuffer:
+    def test_zero_initialised(self):
+        buf = RealBuffer(16)
+        assert buf.nbytes == 16
+        assert not buf.array.any()
+
+    def test_fill(self):
+        buf = RealBuffer(4, fill=7)
+        assert (buf.array == 7).all()
+
+    def test_read_returns_copy(self):
+        buf = RealBuffer(8, fill=1)
+        payload = buf.read(2, 4)
+        buf.array[:] = 9
+        assert (payload == 1).all()  # unaffected by later writes
+
+    def test_write_roundtrip(self):
+        src = RealBuffer(8, fill=5)
+        dst = RealBuffer(8)
+        n = dst.write(4, src.read(0, 4))
+        assert n == 4
+        assert (dst.array[4:8] == 5).all()
+        assert not dst.array[:4].any()
+
+    def test_from_array_views_bytes(self):
+        arr = np.arange(4, dtype=np.int32)
+        buf = RealBuffer.from_array(arr)
+        assert buf.nbytes == 16
+        buf.array[0] = 42
+        assert arr[0] == 42  # shared storage
+
+    def test_read_span_checked(self):
+        buf = RealBuffer(8)
+        with pytest.raises(MpiError):
+            buf.read(6, 4)
+        with pytest.raises(MpiError):
+            buf.read(-1, 2)
+        with pytest.raises(MpiError):
+            buf.read(0, -1)
+
+    def test_write_truncation(self):
+        buf = RealBuffer(4)
+        with pytest.raises(TruncationError):
+            buf.write(2, np.zeros(4, dtype=np.uint8))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MpiError):
+            RealBuffer(-1)
+
+    def test_zero_size_ok(self):
+        buf = RealBuffer(0)
+        assert buf.read(0, 0).size == 0
+
+
+class TestPhantomBuffer:
+    def test_read_returns_count(self):
+        buf = PhantomBuffer(100)
+        assert buf.read(10, 30) == 30
+
+    def test_write_accepts_counts_and_arrays(self):
+        buf = PhantomBuffer(100)
+        assert buf.write(0, 50) == 50
+        assert buf.write(0, np.zeros(20, dtype=np.uint8)) == 20
+
+    def test_span_checked(self):
+        buf = PhantomBuffer(10)
+        with pytest.raises(MpiError):
+            buf.read(5, 10)
+        with pytest.raises(TruncationError):
+            buf.write(5, 10)
+
+    def test_flags(self):
+        assert PhantomBuffer(1).phantom
+        assert not RealBuffer(1).phantom
+
+
+class TestFactory:
+    def test_selects_type(self):
+        assert isinstance(make_buffer(4, real=True), RealBuffer)
+        assert isinstance(make_buffer(4, real=False), PhantomBuffer)
+
+    def test_fill_passed_through(self):
+        assert (make_buffer(4, real=True, fill=3).array == 3).all()

@@ -1,0 +1,87 @@
+"""Tests for communicators and rank translation."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import Communicator
+
+
+class TestConstruction:
+    def test_world(self):
+        w = Communicator.world(4)
+        assert w.size == 4
+        assert w.members == [0, 1, 2, 3]
+
+    def test_world_needs_positive(self):
+        with pytest.raises(MpiError):
+            Communicator.world(0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MpiError):
+            Communicator([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(MpiError):
+            Communicator([0, 1, 1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(MpiError):
+            Communicator([0, -1])
+
+
+class TestTranslation:
+    def test_local_global_roundtrip(self):
+        c = Communicator([5, 2, 9])
+        assert c.to_global(0) == 5
+        assert c.to_local(9) == 2
+        for local in range(c.size):
+            assert c.to_local(c.to_global(local)) == local
+
+    def test_contains(self):
+        c = Communicator([5, 2])
+        assert 5 in c and 3 not in c
+
+    def test_bad_local(self):
+        with pytest.raises(MpiError):
+            Communicator([1, 2]).to_global(2)
+
+    def test_bad_global(self):
+        with pytest.raises(MpiError):
+            Communicator([1, 2]).to_local(0)
+
+
+class TestDupSplitSubset:
+    def test_dup_same_members_new_object(self):
+        c = Communicator([3, 1])
+        d = c.dup()
+        assert d.members == c.members and d is not c
+
+    def test_split_by_parity(self):
+        w = Communicator.world(6)
+        parts = w.split(lambda local: local % 2)
+        assert sorted(parts) == [0, 1]
+        assert parts[0].members == [0, 2, 4]
+        assert parts[1].members == [1, 3, 5]
+
+    def test_split_preserves_relative_order(self):
+        c = Communicator([9, 4, 7, 2])
+        parts = c.split(lambda local: 0 if local < 2 else 1)
+        assert parts[0].members == [9, 4]
+        assert parts[1].members == [7, 2]
+
+    def test_split_mimics_smp_node_comms(self):
+        """Split world by node like the SMP-aware broadcast does."""
+        w = Communicator.world(10)
+        per_node = 4
+        parts = w.split(lambda local: local // per_node)
+        assert parts[0].size == 4 and parts[2].size == 2
+
+    def test_subset(self):
+        w = Communicator.world(6)
+        s = w.subset([4, 0, 2])
+        assert s.members == [4, 0, 2]
+        assert s.to_local(4) == 0
+
+    def test_repr_truncates(self):
+        text = repr(Communicator.world(20))
+        assert "..." in text and "size=20" in text

@@ -1,0 +1,155 @@
+"""Tests for the MPI datatype layer and typed context verbs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MpiError
+from repro.machine import Machine, ideal
+from repro.mpi import (
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    Datatype,
+    Job,
+    contiguous,
+    type_size,
+    vector,
+)
+
+
+class TestElementary:
+    def test_mpi_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_elementary_contiguous(self):
+        for dt in (BYTE, INT, DOUBLE):
+            assert dt.contiguous and not dt.needs_pack()
+            assert dt.extent == dt.size
+
+    def test_payload_and_span(self):
+        assert DOUBLE.payload_bytes(10) == 80
+        assert DOUBLE.span_bytes(10) == 80
+        assert DOUBLE.span_bytes(0) == 0
+
+    def test_negative_count(self):
+        with pytest.raises(MpiError):
+            DOUBLE.payload_bytes(-1)
+
+    def test_type_size_helper(self):
+        assert type_size(INT, 100) == 400
+
+
+class TestContiguous:
+    def test_multiplies(self):
+        row = contiguous(10, DOUBLE)
+        assert row.size == 80 and row.extent == 80
+        assert row.contiguous
+
+    def test_needs_positive_n(self):
+        with pytest.raises(MpiError):
+            contiguous(0, BYTE)
+
+    def test_nested(self):
+        block = contiguous(4, contiguous(10, DOUBLE))
+        assert block.size == 320
+
+
+class TestVector:
+    def test_column_slice(self):
+        # One column of a 4x5 double matrix: 4 blocks of 1, stride 5.
+        col = vector(4, 1, 5, DOUBLE)
+        assert col.size == 32  # payload: 4 doubles
+        assert col.extent == (3 * 5 + 1) * 8  # span: 16 elements
+        assert col.needs_pack()
+
+    def test_dense_vector_is_contiguous(self):
+        v = vector(4, 5, 5, DOUBLE)
+        assert v.contiguous and v.size == v.extent == 160
+
+    def test_single_block_contiguous(self):
+        assert vector(1, 3, 7, INT).contiguous
+
+    def test_stride_validated(self):
+        with pytest.raises(MpiError):
+            vector(4, 5, 3, DOUBLE)
+
+    @given(
+        count=st.integers(min_value=1, max_value=50),
+        blocklength=st.integers(min_value=1, max_value=20),
+        pad=st.integers(min_value=0, max_value=20),
+    )
+    def test_property_size_le_extent(self, count, blocklength, pad):
+        v = vector(count, blocklength, blocklength + pad, DOUBLE)
+        assert v.size <= v.extent
+        assert v.size == count * blocklength * 8
+
+
+class TestTypedVerbs:
+    def _run(self, factory):
+        return Job(Machine(ideal(), nranks=2), factory).run()
+
+    def test_typed_roundtrip(self):
+        received = {}
+
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send_typed(1, 100, DOUBLE, tag=3)
+                else:
+                    status = yield from ctx.recv_typed(0, 100, DOUBLE, tag=3)
+                    received["nbytes"] = status.nbytes
+
+            return program()
+
+        self._run(factory)
+        assert received["nbytes"] == 800
+
+    def test_pack_cost_charged_for_noncontiguous(self):
+        col = vector(1024, 1, 64, DOUBLE)  # strided: needs packing
+
+        def factory(pack_bw):
+            def f(ctx):
+                def program():
+                    if ctx.rank == 0:
+                        yield from ctx.send_typed(1, 64, col, pack_bw=pack_bw)
+                    else:
+                        yield from ctx.recv_typed(0, 64, col, pack_bw=pack_bw)
+
+                return program()
+
+            return f
+
+        fast = self._run(factory(None)).time
+        slow = self._run(factory(1 << 20)).time  # 1 MiB/s pack rate
+        assert slow > fast
+
+    def test_contiguous_type_never_charged(self):
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send_typed(1, 64, DOUBLE, pack_bw=1.0)
+                else:
+                    yield from ctx.recv_typed(0, 64, DOUBLE, pack_bw=1.0)
+
+            return program()
+
+        res = self._run(factory)
+        assert res.time < 1.0  # a 1 B/s pack rate would take 512 s
+
+
+class TestValidation:
+    def test_negative_size_rejected(self):
+        with pytest.raises(MpiError):
+            Datatype("bad", -1, 4)
+
+    def test_extent_smaller_than_size_rejected(self):
+        with pytest.raises(MpiError):
+            Datatype("bad", 8, 4)
+
+    def test_repr(self):
+        assert "non-contiguous" in repr(vector(2, 1, 3, BYTE))
+        assert "MPI_INT" in repr(INT)

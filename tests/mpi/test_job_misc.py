@@ -1,0 +1,109 @@
+"""Miscellaneous runtime coverage: JobResult helpers, buffers wiring,
+custom communicators on the DES."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import Machine, ideal
+from repro.mpi import Communicator, Job, RealBuffer
+from repro.sim import Trace
+
+
+class TestJobWiring:
+    def test_buffers_list_binds_per_rank(self):
+        machine = Machine(ideal(), nranks=2)
+        bufs = [RealBuffer(8, fill=6), RealBuffer(8)]
+
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send(1, 8)
+                else:
+                    yield from ctx.recv(0, 8)
+
+            return program()
+
+        Job(machine, factory, buffers=bufs).run()
+        assert (bufs[1].array == 6).all()
+
+    def test_subset_communicator_world(self):
+        """A Job over a sub-communicator only spawns its members."""
+        machine = Machine(ideal(), nranks=4)
+        comm = Communicator([3, 1])
+        seen = []
+
+        def factory(ctx):
+            def program():
+                seen.append((ctx.rank, ctx.global_rank))
+                if ctx.rank == 0:
+                    yield from ctx.send(1, 4)
+                else:
+                    status = yield from ctx.recv(0, 4)
+                    return status.source
+
+            return program()
+
+        res = Job(machine, factory, comm=comm).run()
+        assert sorted(seen) == [(0, 3), (1, 1)]
+        assert res.rank_results[1] == 0  # comm-local source
+        # Counters speak global ranks.
+        assert res.counters.sent_by_rank == {3: 1}
+
+    def test_rank_finish_times_recorded(self):
+        machine = Machine(ideal(), nranks=2)
+
+        def factory(ctx):
+            def program():
+                yield from ctx.compute(float(ctx.rank + 1))
+
+            return program()
+
+        res = Job(machine, factory).run()
+        assert res.rank_finish_times == [1.0, 2.0]
+        assert res.time == 2.0
+
+    def test_trace_flag_controls_recording(self):
+        machine = Machine(ideal(), nranks=2)
+
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send(1, 8)
+                else:
+                    yield from ctx.recv(0, 8)
+
+            return program()
+
+        silent = Job(Machine(ideal(), nranks=2), factory).run()
+        assert len(silent.trace) == 0  # NullTrace by default
+        trace = Trace()
+        traced = Job(machine, factory, trace=trace).run()
+        assert len(traced.trace) > 0
+
+    def test_result_repr(self):
+        machine = Machine(ideal(), nranks=1)
+
+        def factory(ctx):
+            def program():
+                return "x"
+                yield
+
+            return program()
+
+        res = Job(machine, factory).run()
+        assert "JobResult" in repr(res)
+        assert res.rank_results == ["x"]
+
+    def test_bandwidth_zero_time_rejected(self):
+        machine = Machine(ideal(), nranks=1)
+
+        def factory(ctx):
+            def program():
+                return
+                yield
+
+            return program()
+
+        res = Job(machine, factory).run()
+        with pytest.raises(SimulationError):
+            res.bandwidth(100)

@@ -1,0 +1,88 @@
+"""Tests for the queueing-delay congestion extension."""
+
+import pytest
+
+from repro.core import compare_bcast, simulate_bcast
+from repro.errors import MachineError
+from repro.machine import MachineSpec, hornet, ideal
+
+
+class TestKnob:
+    def test_default_off_changes_nothing(self):
+        base = simulate_bcast(hornet(nodes=2), 16, "512KiB").time
+        explicit = simulate_bcast(hornet(nodes=2, queueing_kappa=0.0), 16, "512KiB").time
+        assert base == explicit
+
+    def test_kappa_slows_everything(self):
+        fast = simulate_bcast(hornet(nodes=2), 16, "512KiB").time
+        slow = simulate_bcast(
+            hornet(nodes=2, queueing_kappa=1.0), 16, "512KiB"
+        ).time
+        assert slow > fast
+
+    def test_negative_rejected(self):
+        with pytest.raises(MachineError):
+            MachineSpec(queueing_kappa=-0.1)
+
+    def test_deterministic(self):
+        spec = hornet(nodes=2, queueing_kappa=0.7)
+        t1 = simulate_bcast(spec, 16, "512KiB").time
+        t2 = simulate_bcast(spec, 16, "512KiB").time
+        assert t1 == t2
+
+    def test_data_correct_under_queueing(self):
+        spec = hornet(nodes=2, queueing_kappa=2.0)
+        rec = simulate_bcast(
+            spec, 10, 10_000, algorithm="scatter_ring_opt", validate=True
+        )
+        assert rec.time > 0
+
+
+class TestMechanism:
+    def test_queueing_penalty_scales_with_kappa_and_never_flips_winner(self):
+        """Congestion surcharges slow both designs monotonically with
+        kappa; the tuned ring stays ahead throughout. (The *relative*
+        gain is not monotone in kappa — the ring's step synchronisation
+        absorbs uniform penalties — which is itself a finding: modelling
+        congestion as a deterministic per-message surcharge is not
+        enough to reproduce the paper's 41% peak; the tails are the
+        missing part. See EXPERIMENTS.md deviations.)"""
+        times = {}
+        gains = {}
+        for kappa in (0.0, 1.0, 4.0):
+            cmp = compare_bcast(hornet(nodes=4, queueing_kappa=kappa), 48, "1MiB")
+            times[kappa] = cmp.native.time
+            gains[kappa] = cmp.bandwidth_improvement_pct
+        assert times[0.0] < times[1.0] < times[4.0]
+        assert all(g > 0 for g in gains.values())
+
+    def test_ordering_preserved_under_queueing(self):
+        """Variable per-message delays must not let envelopes overtake on
+        a channel (the FIFO floor in the transport)."""
+        from repro.machine import Machine
+        from repro.mpi import Job, RealBuffer
+
+        machine = Machine(
+            ideal(eager_threshold=1 << 20).with_(queueing_kappa=8.0), nranks=3
+        )
+        received = []
+
+        def factory(ctx):
+            def program():
+                ctx.attach_buffer(RealBuffer(40000))
+                if ctx.rank == 0:
+                    # Vary sizes wildly so naive per-message delays would
+                    # reorder arrivals.
+                    for n in (40000, 16, 30000, 8, 20000):
+                        yield from ctx.send(1, n, tag=1)
+                elif ctx.rank == 1:
+                    for _ in range(5):
+                        status = yield from ctx.recv(0, 40000, tag=1)
+                        received.append(status.nbytes)
+                else:
+                    return
+
+            return program()
+
+        Job(machine, factory).run()
+        assert received == [40000, 16, 30000, 8, 20000]

@@ -1,0 +1,169 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(3.0, fired.append, "c")
+        eng.schedule(1.0, fired.append, "a")
+        eng.schedule(2.0, fired.append, "b")
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self):
+        eng = Engine()
+        fired = []
+        for label in "abcde":
+            eng.schedule(1.0, fired.append, label)
+        eng.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(2.5, lambda: seen.append(eng.now))
+        final = eng.run()
+        assert seen == [2.5]
+        assert final == 2.5
+
+    def test_schedule_at_absolute(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(4.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [4.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: eng.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_callbacks_can_schedule(self):
+        eng = Engine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            eng.schedule(1.0, lambda: fired.append("second"))
+
+        eng.schedule(1.0, first)
+        final = eng.run()
+        assert fired == ["first", "second"]
+        assert final == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        fired = []
+        handle = eng.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        handle = eng.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        eng.run()
+
+    def test_pending_ignores_cancelled(self):
+        eng = Engine()
+        h1 = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending == 2
+        h1.cancel()
+        assert eng.pending == 1
+        assert not eng.empty
+
+
+class TestRun:
+    def test_run_until_stops_early(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, fired.append, "a")
+        eng.schedule(5.0, fired.append, "b")
+        final = eng.run(until=2.0)
+        assert fired == ["a"]
+        assert final == 2.0
+        # Remaining event still fires on the next run.
+        eng.run()
+        assert fired == ["a", "b"]
+
+    def test_run_not_reentrant(self):
+        eng = Engine()
+        errors = []
+
+        def recurse():
+            try:
+                eng.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        eng.schedule(1.0, recurse)
+        eng.run()
+        assert len(errors) == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_step_fires_one(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, fired.append, 1)
+        eng.schedule(2.0, fired.append, 2)
+        assert eng.step() is True
+        assert fired == [1]
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_fire_order_sorted_and_clock_monotone(delays):
+    eng = Engine()
+    times = []
+    for d in delays:
+        eng.schedule(d, lambda: times.append(eng.now))
+    eng.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+    assert eng.now == max(delays)
+
+
+@given(
+    seed_delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_determinism(seed_delays):
+    def run_once():
+        eng = Engine()
+        order = []
+        for i, d in enumerate(seed_delays):
+            eng.schedule(d, order.append, (d, i))
+        eng.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,73 @@
+"""Tests for the terminal line-plot renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util import line_plot
+
+
+def test_single_series_renders_markers():
+    text = line_plot({"bw": ([1, 2, 3], [10, 20, 30])})
+    assert "o" in text
+    assert "o=bw" in text
+
+
+def test_two_series_distinct_markers():
+    text = line_plot(
+        {"native": ([1, 2], [1, 2]), "opt": ([1, 2], [2, 3])}
+    )
+    assert "o=native" in text and "x=opt" in text
+
+
+def test_log_axes_render_powers():
+    text = line_plot(
+        {"s": ([2**19, 2**25], [256, 4096])}, logx=True, logy=True
+    )
+    # Axis labels come back in linear units.
+    assert "524288" in text or "5.24e" in text
+
+
+def test_title_and_labels():
+    text = line_plot(
+        {"s": ([0, 1], [0, 1])},
+        title="Fig 6(a)",
+        xlabel="Message Size",
+        ylabel="MB/s",
+    )
+    assert text.splitlines()[0] == "Fig 6(a)"
+    assert "Message Size" in text
+    assert "MB/s" in text
+
+
+def test_constant_series_ok():
+    # Zero y-span must not divide by zero.
+    text = line_plot({"flat": ([1, 2, 3], [5, 5, 5])})
+    assert "o" in text
+
+
+def test_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        line_plot({})
+    with pytest.raises(ConfigurationError):
+        line_plot({"s": ([], [])})
+
+
+def test_rejects_mismatched_lengths():
+    with pytest.raises(ConfigurationError):
+        line_plot({"s": ([1, 2], [1])})
+
+
+def test_rejects_nonpositive_on_log_axis():
+    with pytest.raises(ConfigurationError):
+        line_plot({"s": ([0, 1], [1, 2])}, logx=True)
+
+
+def test_rejects_tiny_canvas():
+    with pytest.raises(ConfigurationError):
+        line_plot({"s": ([1], [1])}, width=4, height=2)
+
+
+def test_plot_width_respected():
+    text = line_plot({"s": ([1, 2], [1, 2])}, width=40, height=8)
+    body_lines = [l for l in text.splitlines() if "|" in l]
+    assert all(len(l.split("|", 1)[1]) <= 40 for l in body_lines)

@@ -1,0 +1,102 @@
+"""Tests for the summary-statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util import (
+    mean,
+    geomean,
+    median,
+    stdev,
+    percent_change,
+    speedup,
+    summarize,
+)
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_geomean(self):
+        assert math.isclose(geomean([1, 4]), 2.0)
+
+    def test_stdev_single_sample(self):
+        assert stdev([5.0]) == 0.0
+
+    def test_stdev_known(self):
+        assert math.isclose(stdev([2, 4, 4, 4, 5, 5, 7, 9]), math.sqrt(32 / 7))
+
+    def test_empty_rejected(self):
+        for fn in (mean, geomean, median, stdev, summarize):
+            with pytest.raises(ConfigurationError):
+                fn([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geomean([1, 0])
+
+
+class TestPaperMetrics:
+    def test_percent_change_matches_paper_style(self):
+        # "improved by 12%": native 2623 -> opt 2937.76.
+        assert math.isclose(percent_change(2623, 2623 * 1.12), 12.0)
+
+    def test_percent_change_signed(self):
+        assert percent_change(100, 90) == -10.0
+
+    def test_percent_change_zero_base(self):
+        with pytest.raises(ConfigurationError):
+            percent_change(0, 1)
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_speedup_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            speedup(1.0, 0.0)
+
+    @given(st.lists(positive, min_size=1, max_size=50))
+    def test_speedup_percent_consistency(self, times):
+        # speedup s corresponds to percent change (s-1)*100 of bandwidth.
+        base = times[0]
+        for t in times:
+            s = speedup(base, t)
+            bw_change = percent_change(1.0 / base, 1.0 / t)
+            assert math.isclose((s - 1.0) * 100.0, bw_change, rel_tol=1e-6, abs_tol=1e-9)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == 2.0 and s["median"] == 2.0
+
+    @given(st.lists(finite, min_size=1, max_size=100))
+    def test_bounds(self, vals):
+        s = summarize(vals)
+        slack = 1e-12 * max(1.0, abs(s["min"]), abs(s["max"]))
+        assert s["min"] - slack <= s["median"] <= s["max"] + slack
+        assert s["min"] - slack <= s["mean"] <= s["max"] + slack
+        assert s["stdev"] >= 0.0
+
+
+@given(st.lists(positive, min_size=1, max_size=60))
+def test_geomean_le_mean(vals):
+    """AM-GM inequality as a sanity property."""
+    assert geomean(vals) <= mean(vals) * (1 + 1e-9)
