@@ -11,6 +11,19 @@ import pathlib
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Tag everything under benchmarks/ with the registered ``bench``
+    marker so ``pytest -m "not bench"`` deselects the slow figure runs.
+
+    The hook sees the whole collected session, so filter by path — other
+    directories' tests must stay unmarked.
+    """
+    bench_dir = pathlib.Path(__file__).parent
+    for item in items:
+        if bench_dir in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker("bench")
+
+
 def publish(exp_id: str, text: str) -> None:
     """Print a rendered table/plot and persist it under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)

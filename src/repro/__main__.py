@@ -1,16 +1,25 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three commands cover the common workflows without writing a script:
+Commands cover the common workflows without writing a script:
 
 * ``compare`` — native vs tuned broadcast at one point;
 * ``sweep``   — a bandwidth-vs-size table (one Figure-6/8-style panel);
-* ``traffic`` — Section IV transfer-count arithmetic for a grid of P.
+* ``figure``  — run one of the paper's figure grids end to end;
+* ``traffic`` — Section IV transfer-count arithmetic for a grid of P;
+* ``validate``— data-checked run of every broadcast algorithm;
+* ``cache``   — inspect or clear the persistent sweep-result cache.
+
+``sweep`` and ``figure`` accept ``--jobs N`` to fan points out over N
+worker processes (``0`` = one per CPU) and use the on-disk result cache
+by default (``--no-cache`` bypasses it, ``--cache-dir`` relocates it).
 
 Examples::
 
     python -m repro compare --nranks 64 --nbytes 1MiB
-    python -m repro sweep --nranks 129 --sizes 12KiB,64KiB,512KiB,1MiB
+    python -m repro sweep --nranks 129 --sizes 12KiB,64KiB,512KiB,1MiB --jobs 4
+    python -m repro figure --id fig6b --jobs 0
     python -m repro traffic --procs 8,10,16,64
+    python -m repro cache --clear
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import argparse
 import sys
 
 from .core import (
+    DiskCache,
     Sweep,
     compare_bcast,
     measure_traffic,
@@ -61,6 +71,29 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1=serial, 0=all CPUs)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent on-disk result cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+def _exec_cache(args):
+    return None if args.no_cache else DiskCache(args.cache_dir)
+
+
 def cmd_sweep(args) -> int:
     sizes = args.sizes.split(",")
     sweep = Sweep(
@@ -70,6 +103,8 @@ def cmd_sweep(args) -> int:
         algorithms=["scatter_ring_native", "scatter_ring_opt"],
         placement=args.placement,
     )
+    cache = _exec_cache(args)
+    sweep.run(jobs=args.jobs, cache=cache)
     print(
         sweep.to_table(
             args.nranks,
@@ -78,6 +113,49 @@ def cmd_sweep(args) -> int:
             title=f"np={args.nranks} on {args.machine}",
         )
     )
+    if cache is not None:
+        print(cache.stats().describe())
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .bench import (
+        fig6,
+        fig7,
+        fig8,
+        render_bandwidth_table,
+        render_plot,
+        render_speedup_table,
+    )
+
+    factories = {
+        "fig6a": lambda: fig6("a"),
+        "fig6b": lambda: fig6("b"),
+        "fig6c": lambda: fig6("c"),
+        "fig7": fig7,
+        "fig8": fig8,
+    }
+    exp = factories[args.id]()
+    cache = _exec_cache(args)
+    exp.run(jobs=args.jobs, cache=cache)
+    if args.id == "fig7":
+        print(render_speedup_table(exp))
+    else:
+        nranks = exp.ranks_axis[0]
+        print(render_bandwidth_table(exp, nranks))
+        print(render_plot(exp, nranks))
+    if cache is not None:
+        print(cache.stats().describe())
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = DiskCache(args.cache_dir)
+    if args.clear:
+        removed = cache.invalidate()
+        print(f"cleared {removed} cached record(s) from {cache.file}")
+    else:
+        print(f"{cache.file}: {len(cache)} record(s)")
     return 0
 
 
@@ -150,11 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="bandwidth table over message sizes")
     _add_machine_args(p)
+    _add_exec_args(p)
     p.add_argument("--nranks", type=int, default=64)
     p.add_argument(
         "--sizes", default="512KiB,1MiB,2MiB,4MiB", help="comma-separated sizes"
     )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("figure", help="reproduce one paper figure grid")
+    _add_exec_args(p)
+    p.add_argument(
+        "--id",
+        choices=["fig6a", "fig6b", "fig6c", "fig7", "fig8"],
+        default="fig6a",
+        help="which figure to reproduce (default: fig6a)",
+    )
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("cache", help="inspect or clear the sweep-result cache")
+    p.add_argument("--cache-dir", default=None, help="cache directory override")
+    p.add_argument("--clear", action="store_true", help="delete all cached records")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("traffic", help="transfer-count table for process counts")
     p.add_argument("--procs", default="8,10,16,64", help="comma-separated P values")

@@ -5,6 +5,8 @@ from .micro import PingPongPoint, pingpong, streaming_bandwidth
 from .baseline import BaselineDiff, save_baseline, load_baseline, compare_to_baseline
 from .runner import (
     get_experiment,
+    bench_jobs,
+    bench_cache,
     render_bandwidth_table,
     render_speedup_table,
     render_plot,
@@ -26,6 +28,8 @@ __all__ = [
     "load_baseline",
     "compare_to_baseline",
     "get_experiment",
+    "bench_jobs",
+    "bench_cache",
     "render_bandwidth_table",
     "render_speedup_table",
     "render_plot",

@@ -5,18 +5,54 @@ output.
 full sweep (which is what actually regenerates the figure's rows) runs
 once and is cached here so every assertion and rendering in a benchmark
 module reuses it.
+
+Sweeps route through :class:`repro.core.SweepExecutor`, steered by two
+environment variables:
+
+* ``REPRO_JOBS`` — worker processes per sweep (default ``1`` = serial,
+  ``0`` = one per CPU);
+* ``REPRO_CACHE`` — set to ``0``/``off``/``no`` to bypass the persistent
+  on-disk result cache (default: enabled, under ``REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``), so a re-run of a figure bench skips every
+  already-simulated point.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import os
+from typing import Callable, Dict, Optional
 
+from ..core import DiskCache
 from ..util import Table, format_size, line_plot
 from .figures import NATIVE, OPT, Experiment
 
-__all__ = ["get_experiment", "render_bandwidth_table", "render_speedup_table", "render_plot"]
+__all__ = [
+    "get_experiment",
+    "bench_jobs",
+    "bench_cache",
+    "render_bandwidth_table",
+    "render_speedup_table",
+    "render_plot",
+]
 
 _CACHE: Dict[str, Experiment] = {}
+
+
+def bench_jobs() -> int:
+    """Sweep worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    try:
+        return int(raw) if raw else 1
+    except ValueError:
+        return 1
+
+
+def bench_cache() -> Optional[DiskCache]:
+    """The shared on-disk result cache, or None when ``REPRO_CACHE``
+    disables it."""
+    if os.environ.get("REPRO_CACHE", "").strip().lower() in ("0", "off", "no", "false"):
+        return None
+    return DiskCache()
 
 
 def get_experiment(exp_id: str, factory: Callable[[], Experiment]) -> Experiment:
@@ -24,7 +60,7 @@ def get_experiment(exp_id: str, factory: Callable[[], Experiment]) -> Experiment
     exp = _CACHE.get(exp_id)
     if exp is None:
         exp = factory()
-        exp.run()
+        exp.run(jobs=bench_jobs(), cache=bench_cache())
         _CACHE[exp_id] = exp
     return exp
 

@@ -30,6 +30,8 @@ from .model import (
 from .fitting import FittedModel, fit_alpha_beta, characterize
 from .regimes import RegimeCell, regime_map, selector_agreement
 from .sweep import Sweep, SweepPoint
+from .executor import SweepExecutor, resolve_jobs
+from .diskcache import DiskCache, CacheStats, cache_key, default_cache_dir
 
 __all__ = [
     "simulate_bcast",
@@ -63,4 +65,10 @@ __all__ = [
     "selector_agreement",
     "Sweep",
     "SweepPoint",
+    "SweepExecutor",
+    "resolve_jobs",
+    "DiskCache",
+    "CacheStats",
+    "cache_key",
+    "default_cache_dir",
 ]

@@ -1,0 +1,190 @@
+"""Persistent on-disk result cache for sweep points.
+
+Every simulated point is a pure function of (machine spec, point, root,
+placement) plus the simulator's code version, so its
+:class:`~repro.core.report.RunRecord` can be persisted and reused across
+processes: re-running a figure bench after the first pass skips every
+already-simulated point.
+
+Storage is a single JSON-lines file (one ``{"key": ..., "record": ...}``
+object per line) under the cache directory — append-only writes, no
+index file, human-greppable. The directory defaults to
+``~/.cache/repro`` (respecting ``XDG_CACHE_HOME``) and can be overridden
+with the ``REPRO_CACHE_DIR`` environment variable or the ``path=``
+argument.
+
+Keys are SHA-256 hashes over the canonical JSON of every input that can
+change a result, salted with :data:`CACHE_VERSION`. Bump that constant
+whenever the simulation semantics change — old entries then simply stop
+matching (they are invalidated by construction, not migrated).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..machine import MachineSpec
+from .report import RunRecord
+
+__all__ = ["DiskCache", "CacheStats", "cache_key", "default_cache_dir", "CACHE_VERSION"]
+
+# Code-version salt folded into every key. Bump on any change that
+# alters simulated results (engine semantics, fluid model, algorithms).
+CACHE_VERSION = "2026.08.05"
+
+_CACHE_FILENAME = "sweep-records.jsonl"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (without creating it).
+
+    Precedence: ``REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` >
+    ``~/.cache/repro``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR", "")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_key(
+    spec: MachineSpec,
+    point,
+    root: int = 0,
+    placement="blocked",
+    salt: str = CACHE_VERSION,
+) -> str:
+    """Content hash identifying one simulated point.
+
+    ``point`` is anything with ``algorithm``/``nranks``/``nbytes``
+    attributes (a :class:`~repro.core.sweep.SweepPoint`). Placement
+    policies are keyed by ``str()`` so explicit rank lists and named
+    policies both participate.
+    """
+    payload = {
+        "spec": dataclasses.asdict(spec),
+        "point": (point.algorithm, point.nranks, point.nbytes),
+        "root": root,
+        "placement": str(placement),
+        "salt": salt,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting for one :class:`DiskCache` instance."""
+
+    hits: int
+    misses: int
+    stores: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"cache: {self.entries} entries, {self.hits} hits / "
+            f"{self.misses} misses ({self.hit_rate:.0%}), {self.stores} stores"
+        )
+
+
+class DiskCache:
+    """JSON-lines backed RunRecord store keyed by content hash."""
+
+    def __init__(self, path: Union[str, Path, None] = None):
+        self.dir = Path(path).expanduser() if path is not None else default_cache_dir()
+        self.file = self.dir / _CACHE_FILENAME
+        self._entries: Optional[Dict[str, RunRecord]] = None  # lazy-loaded
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    # -- persistence --------------------------------------------------
+    def _load(self) -> Dict[str, RunRecord]:
+        if self._entries is not None:
+            return self._entries
+        entries: Dict[str, RunRecord] = {}
+        if self.file.exists():
+            with open(self.file, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                        entries[obj["key"]] = RunRecord(**obj["record"])
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn/stale line: ignore, do not crash
+        self._entries = entries
+        return entries
+
+    def _append(self, key: str, rec: RunRecord) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {"key": key, "record": dataclasses.asdict(rec)}, sort_keys=True
+        )
+        with open(self.file, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    # -- mapping ------------------------------------------------------
+    def get(self, key: str) -> Optional[RunRecord]:
+        """Cached record for *key*, counting a hit or a miss."""
+        rec = self._load().get(key)
+        if rec is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return rec
+
+    def put(self, key: str, rec: RunRecord) -> None:
+        """Persist *rec* under *key* (no-op if the key is already stored)."""
+        entries = self._load()
+        if key in entries:
+            return
+        entries[key] = rec
+        self._append(key, rec)
+        self._stores += 1
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    # -- maintenance --------------------------------------------------
+    def invalidate(self) -> int:
+        """Drop every stored record; returns how many were removed."""
+        removed = len(self._load())
+        self._entries = {}
+        if self.file.exists():
+            self.file.unlink()
+        return removed
+
+    clear = invalidate
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            entries=len(self._load()),
+        )
+
+    def __repr__(self) -> str:
+        return f"<DiskCache {self.file} {self.stats().describe()}>"

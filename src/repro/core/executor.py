@@ -1,0 +1,152 @@
+"""Parallel sweep execution over a process pool.
+
+Each sweep point is an independent pure simulation, so the cross product
+behind a figure is embarrassingly parallel. :class:`SweepExecutor` fans
+points out over a :class:`concurrent.futures.ProcessPoolExecutor` and
+guarantees:
+
+* **deterministic ordering** — results come back in the order the points
+  were given, regardless of worker completion order;
+* **identical records** — workers run the same ``simulate_bcast`` as the
+  serial path, so ``jobs=1`` and ``jobs=N`` produce equal
+  :class:`~repro.core.report.RunRecord` rows;
+* **faithful failures** — a worker exception is captured worker-side and
+  re-raised in the parent as
+  :class:`~repro.errors.SweepExecutionError` with the offending point
+  attached (arbitrary exceptions do not always survive pickling);
+* **cache integration** — an optional
+  :class:`~repro.core.diskcache.DiskCache` is consulted before
+  simulating and populated afterwards, so only cold points cost CPU.
+
+``jobs=1`` (the default) never spawns processes — it is the exact serial
+path the sweep driver always had, kept as the fallback for environments
+where ``multiprocessing`` is unavailable or unwanted.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import traceback
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import SweepExecutionError
+from ..machine import MachineSpec
+from .api import simulate_bcast
+from .diskcache import DiskCache, cache_key
+from .report import RunRecord
+
+__all__ = ["SweepExecutor", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument: ``None``/1 → serial, 0/negative →
+    one worker per CPU, otherwise the requested count."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _simulate_point(task):
+    """Worker entry point: simulate one point, never raise.
+
+    Returns ``("ok", record)`` or ``("err", type_name, message, tb)`` so
+    failures cross the process boundary even when the original exception
+    type does not pickle.
+    """
+    spec, point, root, placement = task
+    try:
+        rec = simulate_bcast(
+            spec,
+            nranks=point.nranks,
+            nbytes=point.nbytes,
+            algorithm=point.algorithm,
+            root=root,
+            placement=placement,
+        )
+        return ("ok", rec)
+    except Exception as exc:  # noqa: BLE001 - serialised and re-raised in parent
+        return ("err", type(exc).__name__, str(exc), traceback.format_exc())
+
+
+class SweepExecutor:
+    """Run sweep points serially or across a process pool, with caching."""
+
+    def __init__(self, jobs: Optional[int] = 1, cache: Optional[DiskCache] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+
+    # -- internals -----------------------------------------------------
+    @staticmethod
+    def _unwrap(outcome, point) -> RunRecord:
+        if outcome[0] == "ok":
+            return outcome[1]
+        _, error_type, message, tb = outcome
+        raise SweepExecutionError(point, error_type, message, tb)
+
+    def _run_parallel(
+        self, tasks: Sequence[tuple], points: Sequence
+    ) -> List[RunRecord]:
+        records: List[Optional[RunRecord]] = [None] * len(tasks)
+        failures: dict = {}  # index -> SweepExecutionError
+        workers = min(self.jobs, len(tasks))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_simulate_point, task): i for i, task in enumerate(tasks)
+            }
+            for fut in concurrent.futures.as_completed(futures):
+                i = futures[fut]
+                try:
+                    records[i] = self._unwrap(fut.result(), points[i])
+                except SweepExecutionError as exc:
+                    failures[i] = exc  # drain the rest, then raise
+        if failures:
+            # Deterministic choice regardless of completion order: the
+            # failure at the earliest point index.
+            raise failures[min(failures)]
+        return records  # type: ignore[return-value]
+
+    # -- API -----------------------------------------------------------
+    def run(
+        self,
+        spec: MachineSpec,
+        points: Sequence,
+        root: int = 0,
+        placement="blocked",
+        progress: Optional[Callable] = None,
+    ) -> List[RunRecord]:
+        """Simulate every point; results align index-for-index with
+        *points*. ``progress(point)`` fires once per point (cache hits
+        included) in point order, before any simulation output is used."""
+        points = list(points)
+        results: List[Optional[RunRecord]] = [None] * len(points)
+
+        # Cache pass: satisfy what we can, collect the cold remainder.
+        cold: List[int] = []
+        keys: List[Optional[str]] = [None] * len(points)
+        for i, point in enumerate(points):
+            if progress is not None:
+                progress(point)
+            if self.cache is not None:
+                keys[i] = cache_key(spec, point, root=root, placement=placement)
+                results[i] = self.cache.get(keys[i])
+            if results[i] is None:
+                cold.append(i)
+
+        # Simulate the cold points, serially or fanned out.
+        tasks = [(spec, points[i], root, placement) for i in cold]
+        if self.jobs == 1 or len(cold) <= 1:
+            fresh = [
+                self._unwrap(_simulate_point(task), points[i])
+                for task, i in zip(tasks, cold)
+            ]
+        else:
+            fresh = self._run_parallel(tasks, [points[i] for i in cold])
+
+        for i, rec in zip(cold, fresh):
+            results[i] = rec
+            if self.cache is not None and keys[i] is not None:
+                self.cache.put(keys[i], rec)
+        return results  # type: ignore[return-value]

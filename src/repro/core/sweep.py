@@ -11,13 +11,15 @@ sweep object so a bench can render several views without re-simulating.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..machine import MachineSpec
 from ..util import format_size, parse_size
 from ..util.tables import Table
 from .api import simulate_bcast
+from .diskcache import DiskCache
+from .executor import SweepExecutor
 from .report import ComparisonRecord, RunRecord
 
 __all__ = ["SweepPoint", "Sweep"]
@@ -77,14 +79,38 @@ class Sweep:
             self._cache[point] = rec
         return rec
 
-    def run(self, progress=None) -> List[RunRecord]:
-        """Run every point (cached); optional ``progress(point)`` hook."""
-        records = []
-        for point in self.points():
-            if progress is not None:
-                progress(point)
-            records.append(self.run_point(point))
-        return records
+    def run(
+        self,
+        progress=None,
+        jobs: Optional[int] = 1,
+        cache: Optional[DiskCache] = None,
+    ) -> List[RunRecord]:
+        """Run every point; optional ``progress(point)`` hook.
+
+        ``jobs`` fans uncomputed points out over a process pool
+        (``1`` = serial in-process, ``0`` = one worker per CPU); results
+        are identical and identically ordered regardless. ``cache`` is
+        an optional :class:`~repro.core.diskcache.DiskCache` consulted
+        before simulating and populated afterwards, so repeat runs skip
+        already-simulated points across processes.
+        """
+        points = self.points()
+        todo = [p for p in points if p not in self._cache]
+        if progress is not None:
+            for point in points:
+                if point in self._cache:
+                    progress(point)
+        if todo:
+            records = SweepExecutor(jobs=jobs, cache=cache).run(
+                self.spec,
+                todo,
+                root=self.root,
+                placement=self.placement,
+                progress=progress,
+            )
+            for point, rec in zip(todo, records):
+                self._cache[point] = rec
+        return [self._cache[p] for p in points]
 
     # -- slicing ------------------------------------------------------------
     def record(self, algorithm: str, nranks: int, nbytes) -> RunRecord:
@@ -126,11 +152,12 @@ class Sweep:
         "inter_messages",
     )
 
-    def to_csv(self, target=None) -> str:
+    def to_csv(self, target=None, jobs: Optional[int] = 1, cache=None) -> str:
         """All sweep records as CSV (returned; also written to *target*
-        path or file object when given). Runs any missing points."""
+        path or file object when given). Runs any missing points,
+        forwarding ``jobs``/``cache`` to :meth:`run`."""
         lines = [",".join(self.CSV_FIELDS)]
-        for rec in self.run():
+        for rec in self.run(jobs=jobs, cache=cache):
             lines.append(
                 ",".join(
                     str(v)
@@ -138,7 +165,10 @@ class Sweep:
                         rec.algorithm,
                         rec.nranks,
                         rec.nbytes,
-                        repr(rec.time),
+                        # fixed-width scientific notation: stable across
+                        # platforms, parses back to <1e-9 relative error,
+                        # and diffs cleanly (repr() would vary in length)
+                        f"{rec.time:.9e}",
                         f"{rec.bandwidth_mib:.6f}",
                         rec.messages,
                         rec.bytes_on_wire,

@@ -19,6 +19,7 @@ __all__ = [
     "TruncationError",
     "CollectiveError",
     "ConfigurationError",
+    "SweepExecutionError",
 ]
 
 
@@ -77,3 +78,25 @@ class CollectiveError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid experiment or sweep configuration."""
+
+
+class SweepExecutionError(ReproError):
+    """A sweep point failed inside a worker.
+
+    Worker processes cannot reliably pickle arbitrary exceptions back to
+    the parent, so the executor serialises the failure and re-raises it
+    as this type with the offending point attached (``.point``), the
+    original exception class name (``.error_type``) and the worker-side
+    traceback text (``.worker_traceback``).
+    """
+
+    def __init__(
+        self, point, error_type: str, message: str, worker_traceback: str = ""
+    ) -> None:
+        self.point = point
+        self.error_type = error_type
+        self.worker_traceback = worker_traceback
+        detail = f"sweep point {point} failed: {error_type}: {message}"
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)

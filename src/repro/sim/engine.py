@@ -1,10 +1,12 @@
 """Discrete-event simulation engine: virtual clock plus an event heap.
 
-The engine is deliberately tiny: events are ``(time, seq, callback)``
-triples in a binary heap, popped in time order with FIFO tie-breaking via
-the monotonically increasing sequence number. Everything else in the
-simulator (message matching, fluid flows, rank programs) is layered on
-top of :meth:`Engine.schedule`.
+The engine is deliberately tiny: the heap holds ``(time, seq, handle)``
+tuples popped in time order with FIFO tie-breaking via the monotonically
+increasing sequence number. Tuple entries keep heap comparisons in C
+(plain float/int comparisons) instead of calling a Python ``__lt__`` per
+sift step — the heap is the hottest structure in a sweep. Everything
+else in the simulator (message matching, fluid flows, rank programs) is
+layered on top of :meth:`Engine.schedule`.
 
 Determinism is a hard requirement (DESIGN.md §5): the engine never reads
 the wall clock and never iterates over unordered containers, so two runs
@@ -24,18 +26,32 @@ __all__ = ["Engine", "EventHandle"]
 class EventHandle:
     """Cancellation token for a scheduled event."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable,
+        args: tuple,
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        self._engine = None
+        if engine is not None:
+            engine._alive -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -50,9 +66,10 @@ class Engine:
     """Virtual-time event loop."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: list = []  # (time, seq, EventHandle) triples
         self._now = 0.0
         self._seq = 0
+        self._alive = 0  # not-cancelled events still in the heap
         self._running = False
 
     # -- clock ---------------------------------------------------------
@@ -74,19 +91,26 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, engine=self)
+        heapq.heappush(self._heap, (time, self._seq, handle))
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+        self._alive += 1
         return handle
 
     # -- execution -------------------------------------------------------
+    def _retire(self, handle: EventHandle) -> None:
+        """Account for a live handle leaving the heap to be fired."""
+        self._alive -= 1
+        handle._engine = None  # late cancel() must not decrement again
+
     def step(self) -> bool:
         """Fire the next pending event; False when the queue is empty."""
         while self._heap:
-            handle = heapq.heappop(self._heap)
+            time, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
                 continue
-            self._now = handle.time
+            self._retire(handle)
+            self._now = time
             handle.callback(*handle.args)
             return True
         return False
@@ -101,28 +125,30 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run() is not re-entrant")
         self._running = True
+        heap = self._heap
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                time, _seq, handle = heap[0]
+                if handle.cancelled:
+                    heapq.heappop(heap)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and time > until:
                     self._now = until
                     break
-            # fire
-                heapq.heappop(self._heap)
-                self._now = head.time
-                head.callback(*head.args)
+                # fire
+                heapq.heappop(heap)
+                self._retire(handle)
+                self._now = time
+                handle.callback(*handle.args)
             return self._now
         finally:
             self._running = False
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._alive
 
     @property
     def empty(self) -> bool:
-        return self.pending == 0
+        return self._alive == 0

@@ -1,0 +1,14 @@
+"""Suite-wide fixtures.
+
+The sweep harness persists results under ``~/.cache/repro`` by default;
+tests must never read or pollute the developer's real cache, so every
+test gets a throwaway cache directory unless it overrides the variable
+itself.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -27,7 +27,8 @@ class TestCommands:
         assert rc == 0
         assert "P=8" in out and "MB/s" in out
 
-    def test_sweep_output(self, capsys):
+    def test_sweep_output(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         rc = main(
             [
                 "sweep",
@@ -42,6 +43,76 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "64KiB" in out and "improvement" in out
+        assert "cache:" in out  # stats line when caching is enabled
+
+    def test_sweep_no_cache_and_jobs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rc = main(
+            [
+                "sweep",
+                "--nranks",
+                "8",
+                "--nodes",
+                "2",
+                "--sizes",
+                "64KiB,128KiB",
+                "--jobs",
+                "2",
+                "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "improvement" in out
+        assert "cache:" not in out
+        assert not (tmp_path / "sweep-records.jsonl").exists()
+
+    def test_sweep_warm_cache_rerun(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--nranks",
+            "8",
+            "--nodes",
+            "2",
+            "--sizes",
+            "64KiB",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "2 hits / 0 misses" in capsys.readouterr().out
+
+    def test_figure_output(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+        rc = main(["figure", "--id", "fig6a", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 6(a)" in out and "improvement" in out
+
+    def test_cache_report_and_clear(self, capsys, tmp_path):
+        main(
+            [
+                "sweep",
+                "--nranks",
+                "8",
+                "--nodes",
+                "2",
+                "--sizes",
+                "64KiB",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "2 record(s)" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 record(s)" in capsys.readouterr().out
 
     def test_traffic_output(self, capsys):
         rc = main(["traffic", "--procs", "8,10"])

@@ -32,7 +32,16 @@ class TestCsv:
         for row in rows:
             algo, nranks, nbytes, time_s = row[0], int(row[1]), int(row[2]), float(row[3])
             rec = sweep.record(algo, nranks, nbytes)
-            assert rec.time == time_s  # repr() round-trips floats exactly
+            # .9e keeps 10 significant digits: round-trips to <1e-9 rel.
+            assert time_s == pytest.approx(rec.time, rel=1e-9)
+
+    def test_time_format_is_stable_scientific(self):
+        text = tiny_sweep().to_csv()
+        for line in text.strip().splitlines()[1:]:
+            time_col = line.split(",")[3]
+            mantissa, _, exponent = time_col.partition("e")
+            assert len(mantissa) == 11 and exponent  # d.ddddddddde±dd
+            assert float(time_col) > 0
 
     def test_write_to_path(self, tmp_path):
         path = tmp_path / "sweep.csv"

@@ -92,6 +92,34 @@ class TestCancellation:
         assert eng.pending == 1
         assert not eng.empty
 
+    def test_repeated_cancel_decrements_once(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        h.cancel()
+        assert eng.pending == 1
+
+    def test_cancel_after_fire_keeps_count_consistent(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.pending == 0
+        h.cancel()  # stale token: must not underflow the live counter
+        assert eng.pending == 0
+        assert eng.empty
+
+    def test_pending_tracks_fires(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending == 2
+        eng.step()
+        assert eng.pending == 1
+        eng.step()
+        assert eng.pending == 0
+
 
 class TestRun:
     def test_run_until_stops_early(self):
