@@ -63,11 +63,33 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _solver_stats_table(records) -> Table:
+    """Fluid-solver telemetry rows for a set of RunRecords."""
+    table = Table(
+        ["algorithm", "P", "solves", "rounds", "components", "max comp", "solve ms"],
+        formats=[None, None, None, None, None, None, ".2f"],
+        title=f"solver telemetry (mode: {records[0].solver_mode or 'n/a'})",
+    )
+    for rec in records:
+        table.add_row(
+            rec.algorithm,
+            rec.nranks,
+            rec.solver_solves,
+            rec.solver_rounds,
+            rec.solver_components,
+            rec.solver_max_component,
+            rec.solver_time_s * 1e3,
+        )
+    return table
+
+
 def cmd_compare(args) -> int:
     cmp = compare_bcast(
         _spec(args), nranks=args.nranks, nbytes=args.nbytes, placement=args.placement
     )
     print(cmp.describe())
+    if args.solver_stats:
+        print(_solver_stats_table([cmp.native, cmp.opt]))
     return 0
 
 
@@ -104,7 +126,7 @@ def cmd_sweep(args) -> int:
         placement=args.placement,
     )
     cache = _exec_cache(args)
-    sweep.run(jobs=args.jobs, cache=cache)
+    records = sweep.run(jobs=args.jobs, cache=cache)
     print(
         sweep.to_table(
             args.nranks,
@@ -113,6 +135,8 @@ def cmd_sweep(args) -> int:
             title=f"np={args.nranks} on {args.machine}",
         )
     )
+    if args.solver_stats:
+        print(_solver_stats_table(records))
     if cache is not None:
         print(cache.stats().describe())
     return 0
@@ -224,6 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p)
     p.add_argument("--nranks", type=int, default=64)
     p.add_argument("--nbytes", default="1MiB")
+    p.add_argument(
+        "--solver-stats",
+        action="store_true",
+        help="print fluid-solver telemetry after the results",
+    )
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="bandwidth table over message sizes")
@@ -232,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nranks", type=int, default=64)
     p.add_argument(
         "--sizes", default="512KiB,1MiB,2MiB,4MiB", help="comma-separated sizes"
+    )
+    p.add_argument(
+        "--solver-stats",
+        action="store_true",
+        help="print fluid-solver telemetry after the results",
     )
     p.set_defaults(func=cmd_sweep)
 

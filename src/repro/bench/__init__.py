@@ -1,7 +1,13 @@
 """Benchmark harness: figure/table experiment definitions and rendering."""
 
 from .figures import Experiment, fig6, fig7, fig8, NATIVE, OPT, fast_mode
-from .micro import PingPongPoint, pingpong, streaming_bandwidth
+from .micro import (
+    PingPongPoint,
+    SolverChurnResult,
+    pingpong,
+    solver_churn,
+    streaming_bandwidth,
+)
 from .baseline import BaselineDiff, save_baseline, load_baseline, compare_to_baseline
 from .runner import (
     get_experiment,
@@ -21,7 +27,9 @@ __all__ = [
     "OPT",
     "fast_mode",
     "PingPongPoint",
+    "SolverChurnResult",
     "pingpong",
+    "solver_churn",
     "streaming_bandwidth",
     "BaselineDiff",
     "save_baseline",

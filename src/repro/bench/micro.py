@@ -11,14 +11,22 @@ into effective alpha/beta parameters, closing the calibration loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Union
+from time import perf_counter
+from typing import List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError
 from ..machine import Machine, MachineSpec
 from ..mpi import Job
+from ..sim import Engine, FlowNetwork, Resource, SolverStats
 from ..util import parse_size
 
-__all__ = ["PingPongPoint", "pingpong", "streaming_bandwidth"]
+__all__ = [
+    "PingPongPoint",
+    "pingpong",
+    "streaming_bandwidth",
+    "SolverChurnResult",
+    "solver_churn",
+]
 
 MICRO_TAG = 12
 
@@ -127,3 +135,109 @@ def streaming_bandwidth(
 
     result = Job(machine, factory).run()
     return window * size / result.time if result.time > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class SolverChurnResult:
+    """Outcome of one :func:`solver_churn` run."""
+
+    nranks: int
+    flows_completed: int
+    flows_cancelled: int
+    sim_time: float  # simulated seconds to drain the churn
+    wall_s: float  # host seconds for the whole run
+    stats: SolverStats  # the network's solver telemetry
+
+    @property
+    def solve_time_s(self) -> float:
+        return self.stats.solve_time_s
+
+    @property
+    def solves_per_s(self) -> float:
+        """Solver throughput: re-solves per host second of solver time."""
+        if self.stats.solve_time_s <= 0:
+            return float("inf")
+        return self.stats.solves / self.stats.solve_time_s
+
+
+def solver_churn(
+    nranks: int,
+    steps: int = 8,
+    ranks_per_node: int = 8,
+    block_nbytes: Union[int, str] = "64KiB",
+    cancel_every: int = 7,
+    solver: Optional[str] = None,
+) -> SolverChurnResult:
+    """Ring-allgather-shaped flow churn driven straight at a FlowNetwork.
+
+    Every rank streams ``steps`` blocks to its right neighbour through a
+    private copy-out engine, the node's shared NIC and the neighbour's
+    copy-in engine — the contention shape of the paper's ring allgather
+    on a multi-core cluster. Each completion immediately launches the
+    rank's next block, and every ``cancel_every``-th flow is aborted
+    mid-flight instead, so the solver sees a constant storm of
+    add/complete/cancel transitions (~``nranks`` flows in flight,
+    ``nranks x steps`` transfers total). Because per-rank engines are
+    private and only the NIC is shared, the network decomposes into one
+    contention component per node — exactly the structure the
+    incremental solver exploits and the reference solver re-derives from
+    scratch at every event.
+
+    The workload is fully deterministic (sizes staggered by a fixed
+    rank/step hash); ``solver`` picks the implementation under test.
+    """
+    if nranks < 2:
+        raise ConfigurationError(f"solver churn needs >= 2 ranks, got {nranks}")
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    block = parse_size(block_nbytes)
+    engine = Engine()
+    net = FlowNetwork(engine, solver=solver)
+
+    nodes = (nranks + ranks_per_node - 1) // ranks_per_node
+    out_eng = [Resource(f"churn.out{r}", 4e9, kind="cpu") for r in range(nranks)]
+    in_eng = [Resource(f"churn.in{r}", 4e9, kind="cpu") for r in range(nranks)]
+    nic = [Resource(f"churn.nic{n}", 8e9, kind="nic") for n in range(nodes)]
+
+    cancelled = [0]
+    # Abort point well inside a block's ~65us service time at these caps.
+    cancel_delay = block / 16e9
+
+    def launch(r: int, s: int) -> None:
+        if s >= steps:
+            return
+        # Deterministic per-(rank, step) size stagger spreads completions
+        # so events interleave instead of arriving in lockstep.
+        nbytes = block * (1.0 + ((r * 31 + s * 17) % 64) / 64.0)
+        path = (out_eng[r], nic[r // ranks_per_node], in_eng[(r + 1) % nranks])
+        state = {"done": False}
+
+        def on_complete(_flow, r=r, s=s, state=state):
+            state["done"] = True
+            launch(r, s + 1)
+
+        flow = net.add_flow(nbytes, path, on_complete=on_complete)
+        if (r + 3 * s) % cancel_every == 0:
+
+            def abort(flow=flow, r=r, s=s, state=state):
+                if state["done"]:
+                    return
+                net.cancel_flow(flow)
+                cancelled[0] += 1
+                launch(r, s + 1)
+
+            engine.schedule(cancel_delay, abort)
+
+    start = perf_counter()
+    for r in range(nranks):
+        engine.schedule(0.0, launch, r, 0)
+    engine.run()
+    wall = perf_counter() - start
+    return SolverChurnResult(
+        nranks=nranks,
+        flows_completed=net.completed_count,
+        flows_cancelled=cancelled[0],
+        sim_time=engine.now,
+        wall_s=wall,
+        stats=net.stats(),
+    )

@@ -81,6 +81,22 @@ def _resolve_algorithm(name: str, nbytes: int, nranks: int, machine: Machine):
     return name, get_algorithm(name)
 
 
+def _solver_fields(stats) -> dict:
+    """RunRecord kwargs for a run's fluid-solver telemetry (whole-run
+    totals, not divided by ``iterations`` — the solver cost is per run)."""
+    if stats is None:
+        return {}
+    return {
+        "solver_mode": stats.mode,
+        "solver_solves": stats.solves,
+        "solver_rounds": stats.rounds,
+        "solver_components": stats.components_solved,
+        "solver_max_component": stats.max_component,
+        "solver_flows_advanced": stats.flows_advanced,
+        "solver_time_s": stats.solve_time_s,
+    }
+
+
 def simulate_bcast(
     spec_or_machine: Union[MachineSpec, Machine],
     nranks: int,
@@ -152,6 +168,7 @@ def simulate_bcast(
         intra_messages=c.intra_messages // iterations,
         inter_messages=c.inter_messages // iterations,
         machine=machine.spec.name,
+        **_solver_fields(result.solver_stats),
     )
 
 
@@ -234,4 +251,5 @@ def simulate_allgather(
         intra_messages=c.intra_messages,
         inter_messages=c.inter_messages,
         machine=machine.spec.name,
+        **_solver_fields(result.solver_stats),
     )

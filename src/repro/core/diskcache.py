@@ -30,13 +30,14 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..machine import MachineSpec
+from ..sim import solver_mode
 from .report import RunRecord
 
 __all__ = ["DiskCache", "CacheStats", "cache_key", "default_cache_dir", "CACHE_VERSION"]
 
 # Code-version salt folded into every key. Bump on any change that
 # alters simulated results (engine semantics, fluid model, algorithms).
-CACHE_VERSION = "2026.08.05"
+CACHE_VERSION = "2026.08.05.1"
 
 _CACHE_FILENAME = "sweep-records.jsonl"
 
@@ -74,6 +75,9 @@ def cache_key(
         "point": (point.algorithm, point.nranks, point.nbytes),
         "root": root,
         "placement": str(placement),
+        # Both solvers produce bitwise-identical times, but the cached
+        # record carries mode-specific telemetry, so key on the mode.
+        "solver": solver_mode(),
         "salt": salt,
     }
     blob = json.dumps(payload, sort_keys=True, default=str, separators=(",", ":"))

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..util import format_size, percent_change, speedup
 
@@ -26,6 +26,16 @@ class RunRecord:
     intra_messages: int
     inter_messages: int
     machine: str = "unknown"
+    # Fluid-solver telemetry (see docs/performance.md). Totals over the
+    # run's iterations; all deterministic except solver_time_s, which is
+    # host wall time and therefore excluded from record equality.
+    solver_mode: str = ""
+    solver_solves: int = 0
+    solver_rounds: int = 0
+    solver_components: int = 0
+    solver_max_component: int = 0
+    solver_flows_advanced: int = 0
+    solver_time_s: float = field(default=0.0, compare=False)
 
     @property
     def bandwidth(self) -> float:

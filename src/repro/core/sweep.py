@@ -150,6 +150,11 @@ class Sweep:
         "bytes_on_wire",
         "intra_messages",
         "inter_messages",
+        # solver telemetry columns come last so positional consumers of
+        # the original fields keep working
+        "solver_solves",
+        "solver_rounds",
+        "solver_time_s",
     )
 
     def to_csv(self, target=None, jobs: Optional[int] = 1, cache=None) -> str:
@@ -174,6 +179,10 @@ class Sweep:
                         rec.bytes_on_wire,
                         rec.intra_messages,
                         rec.inter_messages,
+                        rec.solver_solves,
+                        rec.solver_rounds,
+                        # host wall time: informational, not reproducible
+                        f"{rec.solver_time_s:.3e}",
                     )
                 )
             )

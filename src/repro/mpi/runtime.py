@@ -38,6 +38,7 @@ class JobResult:
         counters: TrafficCounters,
         trace: Trace,
         flows_completed: int,
+        solver_stats=None,
     ):
         self.time = time
         self.rank_results = rank_results
@@ -45,6 +46,7 @@ class JobResult:
         self.counters = counters
         self.trace = trace
         self.flows_completed = flows_completed
+        self.solver_stats = solver_stats
 
     def bandwidth(self, nbytes: int) -> float:
         """Broadcast processing rate in bytes/s, the paper's metric."""
@@ -138,6 +140,7 @@ class Job:
             counters=self.counters,
             trace=self.trace,
             flows_completed=self.flownet.completed_count,
+            solver_stats=self.flownet.stats(),
         )
 
     # -- program driving ----------------------------------------------------

@@ -3,7 +3,7 @@
 from .engine import Engine, EventHandle
 from .process import Proc, StepOutcome, step_coroutine, ensure_generator
 from .resources import Resource
-from .flows import Flow, FlowNetwork
+from .flows import Flow, FlowNetwork, SolverStats, solver_mode
 from .trace import Trace, NullTrace, TraceRecord
 from .random import RngStreams
 
@@ -17,6 +17,8 @@ __all__ = [
     "Resource",
     "Flow",
     "FlowNetwork",
+    "SolverStats",
+    "solver_mode",
     "Trace",
     "NullTrace",
     "TraceRecord",

@@ -9,16 +9,41 @@ set changes the network
 3. *reschedules* one engine event at the earliest flow completion.
 
 Progressive filling: all unfixed flows grow at the same rate ``t`` until
-either a resource saturates (``t = headroom / unfixed_flows``) or a flow
-hits its individual rate cap; the binding flows are fixed and the process
-repeats. This yields the unique max-min fair allocation.
+either a resource saturates or a flow hits its individual rate cap; the
+binding flows are fixed and the process repeats. This yields the unique
+max-min fair allocation.
 
 The solver is the simulator's hot loop (it runs twice per message), so
-it is vectorised: flows and resources are mapped to integer ids, the
-flow/resource incidence is a pair of flat numpy arrays, and each
-water-filling round is a handful of array operations. Per-path id arrays
-are cached keyed on the (machine-cached) resource tuple, so steady-state
-ring traffic allocates almost nothing.
+it is both vectorised and *incremental*:
+
+* flow state (remaining bytes, current rate, rate cap) lives in
+  persistent slot-indexed numpy vectors updated in place on
+  ``add_flow``/``cancel_flow`` — advancing progress and finding the next
+  completion ETA are single array operations, never Python loops;
+* membership is tracked with O(1) index maps (fid -> slot), so removing
+  a flow never scans the active set;
+* flows are grouped into *contention components* — connected groups of
+  the flow/resource sharing graph, maintained with a union-find over
+  each path's resources — and a re-solve only runs progressive filling
+  for the component(s) touched since the last solve.  Max-min fairness
+  guarantees disjoint components keep their previous rates.
+
+The water-filling kernel recomputes each resource's absolute saturation
+level ``(capacity - fixed_rates) / pending`` fresh every round instead
+of accumulating headroom deltas.  That makes the kernel's floating-point
+path *independent of component grouping*: solving a disjoint union of
+components in one call produces bitwise-identical rates to solving them
+separately.  Component tracking is therefore a pure optimisation — it
+can merge lazily and split opportunistically without ever changing a
+simulated timestamp, and the incremental solver is bit-for-bit
+equivalent to the from-scratch one (enforced by the differential tests
+in ``tests/sim/test_solver_differential.py``).
+
+Set ``REPRO_SOLVER=reference`` to force the from-scratch solver — every
+re-solve repartitions all active flows and re-runs the kernel on every
+component — as a differential-testing escape hatch. ``stats()`` exposes
+solver telemetry (solve count, water-filling rounds, component sizes,
+flows advanced, solver wall time); see ``docs/performance.md``.
 
 This sharing behaviour is the load-bearing part of the reproduction: the
 paper's tuned ring allgather removes transfers *without shortening the
@@ -29,7 +54,10 @@ is what this model expresses.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+import os
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
@@ -37,27 +65,85 @@ from ..errors import SimulationError
 from .engine import Engine, EventHandle
 from .resources import Resource
 
-__all__ = ["Flow", "FlowNetwork"]
+__all__ = ["Flow", "FlowNetwork", "SolverStats", "solver_mode"]
 
 # Residual byte counts below this are treated as complete; guards against
 # floating-point dust keeping a flow alive forever.
 _EPSILON_BYTES = 1e-6
 
+# Environment escape hatch selecting the solver implementation.
+SOLVER_ENV = "REPRO_SOLVER"
+SOLVER_MODES = ("incremental", "reference")
+
+
+def solver_mode() -> str:
+    """The solver selected by ``REPRO_SOLVER`` (default ``incremental``)."""
+    mode = os.environ.get(SOLVER_ENV, "").strip() or "incremental"
+    if mode not in SOLVER_MODES:
+        raise SimulationError(
+            f"unknown {SOLVER_ENV} mode {mode!r}; expected one of {SOLVER_MODES}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class SolverStats:
+    """Telemetry snapshot of one :class:`FlowNetwork`'s solver."""
+
+    mode: str  # "incremental" or "reference"
+    solves: int  # rate re-solves actually performed
+    rounds: int  # water-filling rounds across all solves
+    components_solved: int  # component kernel invocations
+    flows_solved: int  # sum of component sizes over all solves
+    max_component: int  # largest component ever solved
+    flows_advanced: int  # flow-progress updates applied by _advance
+    solve_time_s: float  # wall time spent inside the solver
+
+    @property
+    def rounds_per_solve(self) -> float:
+        return self.rounds / self.solves if self.solves else 0.0
+
+    @property
+    def mean_component(self) -> float:
+        return (
+            self.flows_solved / self.components_solved
+            if self.components_solved
+            else 0.0
+        )
+
+    def describe(self) -> str:
+        return (
+            f"solver[{self.mode}]: {self.solves} solves "
+            f"({self.rounds_per_solve:.2f} rounds/solve), "
+            f"{self.components_solved} components "
+            f"(mean {self.mean_component:.1f}, max {self.max_component} flows), "
+            f"{self.flows_advanced} flow advances, "
+            f"{self.solve_time_s * 1e3:.2f}ms solve time"
+        )
+
 
 class Flow:
-    """One in-flight transfer across a path of resources."""
+    """One in-flight transfer across a path of resources.
+
+    While active, ``remaining``/``rate`` are views into the owning
+    network's slot vectors (so the solver can update thousands of flows
+    with single array writes); once detached the last values are kept
+    locally so completed/cancelled flows stay inspectable.
+    """
 
     __slots__ = (
         "fid",
         "nbytes",
-        "remaining",
         "resources",
         "res_ids",
         "rate_cap",
-        "rate",
         "on_complete",
         "meta",
         "start_time",
+        "_net",
+        "_slot",
+        "_remaining",
+        "_rate",
     )
 
     def __init__(
@@ -73,22 +159,56 @@ class Flow:
     ):
         self.fid = fid
         self.nbytes = float(nbytes)
-        self.remaining = float(nbytes)
         self.resources = resources
         self.res_ids = res_ids  # np.ndarray of network-local resource ids
         self.rate_cap = rate_cap
-        self.rate = 0.0
         self.on_complete = on_complete
         self.meta = meta
         self.start_time = start_time
+        self._net: Optional["FlowNetwork"] = None
+        self._slot = -1
+        self._remaining = float(nbytes)
+        self._rate = 0.0
+
+    @property
+    def remaining(self) -> float:
+        net = self._net
+        if net is not None:
+            return float(net._rem[self._slot])
+        return self._remaining
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        net = self._net
+        if net is not None:
+            net._rem[self._slot] = value
+        else:
+            self._remaining = float(value)
+
+    @property
+    def rate(self) -> float:
+        net = self._net
+        if net is not None:
+            return float(net._rate_vec[self._slot])
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        net = self._net
+        if net is not None:
+            net._rate_vec[self._slot] = value
+        else:
+            self._rate = float(value)
 
     def eta(self) -> float:
         """Seconds until completion at the current rate (inf when stalled)."""
-        if self.remaining <= _EPSILON_BYTES:
+        remaining = self.remaining
+        if remaining <= _EPSILON_BYTES:
             return 0.0
-        if self.rate <= 0.0:
+        rate = self.rate
+        if rate <= 0.0:
             return float("inf")
-        return self.remaining / self.rate
+        return remaining / rate
 
     def __repr__(self) -> str:
         return (
@@ -98,11 +218,24 @@ class Flow:
 
 
 class FlowNetwork:
-    """Progressive-filling fluid network bound to a simulation engine."""
+    """Progressive-filling fluid network bound to a simulation engine.
 
-    def __init__(self, engine: Engine):
+    ``solver`` selects the re-solve strategy (defaults to the
+    ``REPRO_SOLVER`` environment variable, then ``"incremental"``):
+
+    * ``"incremental"`` — persistent state, component tracking, re-solve
+      only what changed (the production path);
+    * ``"reference"`` — stateless from-scratch partition + solve of every
+      active flow on each change (the differential-testing baseline).
+    """
+
+    def __init__(self, engine: Engine, solver: Optional[str] = None):
         self.engine = engine
-        self.active: list = []  # ordered by fid for determinism
+        self.solver = solver if solver is not None else solver_mode()
+        if self.solver not in SOLVER_MODES:
+            raise SimulationError(
+                f"unknown solver {self.solver!r}; expected one of {SOLVER_MODES}"
+            )
         self._next_fid = 0
         self._last_update = engine.now
         self._completion_event: Optional[EventHandle] = None
@@ -117,6 +250,38 @@ class FlowNetwork:
         # Path cache: resource tuple -> id array (machines cache plans, so
         # identical paths arrive as identical tuples).
         self._path_ids: dict = {}
+        # Slot pool: persistent per-flow vectors updated in place. A slot
+        # is claimed on add_flow and recycled on completion/cancel; the
+        # fid -> slot map gives O(1) membership tests and removal.
+        self._rem = np.empty(0)  # remaining bytes per slot
+        self._rate_vec = np.empty(0)  # current rate per slot
+        self._cap_vec = np.empty(0)  # rate cap per slot (inf = uncapped)
+        self._slot_flow: list = []  # slot -> Flow (None when free)
+        self._free_slots: list = []
+        self._fid_slot: dict = {}  # fid -> slot, insertion ordered
+        self._slots_np = np.empty(0, dtype=np.int64)
+        self._slots_stale = True
+        # Contention components (incremental mode): disjoint groups of
+        # flows connected through shared resources. Components merge
+        # eagerly on add_flow and are repartitioned opportunistically
+        # after enough removals — the kernel's grouping independence
+        # makes both operations timing-neutral.
+        self._next_comp = 0
+        self._flow_comp: dict = {}  # fid -> comp id
+        self._comp_flows: dict = {}  # comp id -> {fid: Flow} (insertion order)
+        self._comp_res: dict = {}  # comp id -> set of resource ids
+        self._res_comp: dict = {}  # resource id -> comp id
+        self._comp_removals: dict = {}  # comp id -> removals since repartition
+        self._dirty_comps: set = set()  # components needing a re-solve
+        self._split_comps: set = set()  # components due a repartition
+        # Telemetry.
+        self._stat_solves = 0
+        self._stat_rounds = 0
+        self._stat_components = 0
+        self._stat_flows_solved = 0
+        self._stat_max_component = 0
+        self._stat_flows_advanced = 0
+        self._stat_solve_time = 0.0
 
     # -- public API ------------------------------------------------------
     def add_flow(
@@ -151,16 +316,21 @@ class FlowNetwork:
         if nbytes <= _EPSILON_BYTES:
             self.engine.schedule(0.0, self._finish_flow, flow)
             return flow
+        if not path and rate_cap is None:
+            raise SimulationError("flow has no resources and no rate cap")
         self._advance()
-        self.active.append(flow)
+        self._claim_slot(flow)
         for res in path:
             res.attach(flow)
+        if self.solver == "incremental":
+            self._comp_add(flow)
         self._schedule_resolve()
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
         """Abort an in-flight transfer without firing its callback."""
-        if flow not in self.active:
+        slot = self._fid_slot.get(flow.fid)
+        if slot is None or self._slot_flow[slot] is not flow:
             return
         self._advance()
         self._remove(flow)
@@ -178,6 +348,19 @@ class FlowNetwork:
             self._resolve_event = None
             self._resolve()
 
+    def stats(self) -> SolverStats:
+        """Solver telemetry accumulated since construction."""
+        return SolverStats(
+            mode=self.solver,
+            solves=self._stat_solves,
+            rounds=self._stat_rounds,
+            components_solved=self._stat_components,
+            flows_solved=self._stat_flows_solved,
+            max_component=self._stat_max_component,
+            flows_advanced=self._stat_flows_advanced,
+            solve_time_s=self._stat_solve_time,
+        )
+
     def _schedule_resolve(self) -> None:
         if self._resolve_event is None:
             self._resolve_event = self.engine.schedule(0.0, self._deferred_resolve)
@@ -188,7 +371,14 @@ class FlowNetwork:
 
     @property
     def active_count(self) -> int:
-        return len(self.active)
+        return len(self._fid_slot)
+
+    @property
+    def active(self) -> List[Flow]:
+        """Active flows ordered by fid (a snapshot; do not mutate)."""
+        slot_flow = self._slot_flow
+        fid_slot = self._fid_slot
+        return [slot_flow[fid_slot[fid]] for fid in sorted(fid_slot)]
 
     # -- resource / path indexing -------------------------------------------
     def _ids_for(self, path: tuple):
@@ -207,9 +397,185 @@ class FlowNetwork:
             self._path_ids[path] = ids
         return ids
 
+    # -- slot pool ---------------------------------------------------------
+    def _claim_slot(self, flow: Flow) -> None:
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = len(self._slot_flow)
+            self._slot_flow.append(None)
+            if slot >= len(self._rem):
+                grow = max(16, 2 * len(self._rem))
+                for name in ("_rem", "_rate_vec", "_cap_vec"):
+                    old = getattr(self, name)
+                    fresh = np.zeros(grow)
+                    fresh[: len(old)] = old
+                    setattr(self, name, fresh)
+        self._slot_flow[slot] = flow
+        self._fid_slot[flow.fid] = slot
+        self._rem[slot] = flow._remaining
+        self._rate_vec[slot] = 0.0
+        self._cap_vec[slot] = flow.rate_cap if flow.rate_cap is not None else np.inf
+        flow._net = self
+        flow._slot = slot
+        self._slots_stale = True
+
+    def _release_slot(self, flow: Flow) -> None:
+        slot = self._fid_slot.pop(flow.fid)
+        flow._remaining = float(self._rem[slot])
+        flow._rate = float(self._rate_vec[slot])
+        flow._net = None
+        flow._slot = -1
+        self._slot_flow[slot] = None
+        self._free_slots.append(slot)
+        self._slots_stale = True
+
+    def _active_slots(self) -> np.ndarray:
+        if self._slots_stale:
+            n = len(self._fid_slot)
+            self._slots_np = np.fromiter(
+                self._fid_slot.values(), dtype=np.int64, count=n
+            )
+            self._slots_stale = False
+        return self._slots_np
+
+    # -- component tracking ------------------------------------------------
+    def _comp_add(self, flow: Flow) -> None:
+        comp_flows = self._comp_flows
+        found: list = []
+        for rid in flow.res_ids.tolist():
+            c = self._res_comp.get(rid)
+            if c is not None and c not in found:
+                found.append(c)
+        if not found:
+            target = self._next_comp
+            self._next_comp += 1
+            comp_flows[target] = {}
+            self._comp_res[target] = set()
+        else:
+            target = found[0]
+            for c in found[1:]:
+                if len(comp_flows[c]) > len(comp_flows[target]):
+                    target = c
+            for c in found:
+                if c == target:
+                    continue
+                moved = comp_flows.pop(c)
+                comp_flows[target].update(moved)
+                for fid in moved:
+                    self._flow_comp[fid] = target
+                res = self._comp_res.pop(c)
+                self._comp_res[target] |= res
+                for rid in res:
+                    self._res_comp[rid] = target
+                self._dirty_comps.discard(c)
+                if c in self._split_comps:
+                    self._split_comps.discard(c)
+                    self._split_comps.add(target)
+                self._comp_removals[target] = self._comp_removals.pop(
+                    target, 0
+                ) + self._comp_removals.pop(c, 0)
+        for rid in flow.res_ids.tolist():
+            self._res_comp[rid] = target
+            self._comp_res[target].add(rid)
+        comp_flows[target][flow.fid] = flow
+        self._flow_comp[flow.fid] = target
+        self._dirty_comps.add(target)
+
+    def _comp_remove(self, flow: Flow) -> None:
+        fid = flow.fid
+        c = self._flow_comp.pop(fid)
+        flows = self._comp_flows[c]
+        del flows[fid]
+        if not flows:
+            del self._comp_flows[c]
+            for rid in self._comp_res.pop(c):
+                if self._res_comp.get(rid) == c:
+                    del self._res_comp[rid]
+            self._dirty_comps.discard(c)
+            self._split_comps.discard(c)
+            self._comp_removals.pop(c, None)
+            return
+        self._dirty_comps.add(c)
+        removed = self._comp_removals.get(c, 0) + 1
+        # Repartition once removals rival the component's size: keeps
+        # stale merges from congealing everything into one mega-component
+        # while amortising the O(component) rebuild over many removals.
+        if removed >= max(4, len(flows)):
+            self._split_comps.add(c)
+            self._comp_removals.pop(c, None)
+        else:
+            self._comp_removals[c] = removed
+
+    @staticmethod
+    def _partition(flows: List[Flow]) -> List[List[Flow]]:
+        """Group fid-ordered *flows* into contention components.
+
+        Union-find over resource ids; groups come back ordered by their
+        first flow's fid with members in fid order — fully deterministic.
+        """
+        parent: dict = {}
+
+        def find(x):
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        keys: list = []
+        for flow in flows:
+            base = None
+            for rid in flow.res_ids.tolist():
+                if rid not in parent:
+                    parent[rid] = rid
+                root = find(rid)
+                if base is None:
+                    base = root
+                elif root != base:
+                    parent[root] = base
+            keys.append(base)
+
+        groups: dict = {}
+        ordered: list = []
+        for flow, key in zip(flows, keys):
+            gkey = ("f", flow.fid) if key is None else ("r", find(key))
+            group = groups.get(gkey)
+            if group is None:
+                groups[gkey] = group = []
+                ordered.append(group)
+            group.append(flow)
+        return ordered
+
+    def _repartition_comp(self, c: int) -> None:
+        """Rebuild one component's grouping from its surviving flows."""
+        flows = self._comp_flows.pop(c)
+        for rid in self._comp_res.pop(c):
+            if self._res_comp.get(rid) == c:
+                del self._res_comp[rid]
+        self._dirty_comps.discard(c)
+        self._comp_removals.pop(c, None)
+        ordered = [flows[fid] for fid in sorted(flows)]
+        for group in self._partition(ordered):
+            nc = self._next_comp
+            self._next_comp += 1
+            self._comp_flows[nc] = {f.fid: f for f in group}
+            res: set = set()
+            for f in group:
+                res.update(f.res_ids.tolist())
+            self._comp_res[nc] = res
+            for rid in res:
+                self._res_comp[rid] = nc
+            for f in group:
+                self._flow_comp[f.fid] = nc
+            self._dirty_comps.add(nc)
+
     # -- internals ---------------------------------------------------------
     def _remove(self, flow: Flow) -> None:
-        self.active.remove(flow)
+        if self.solver == "incremental":
+            self._comp_remove(flow)
+        self._release_slot(flow)
         for res in flow.resources:
             res.detach(flow)
 
@@ -217,81 +583,128 @@ class FlowNetwork:
         """Accrue progress for every active flow up to the current time."""
         now = self.engine.now
         elapsed = now - self._last_update
-        if elapsed > 0.0:
-            for flow in self.active:
-                flow.remaining -= flow.rate * elapsed
-                if flow.remaining < 0.0:
-                    flow.remaining = 0.0
+        if elapsed > 0.0 and self._fid_slot:
+            slots = self._active_slots()
+            progressed = self._rem[slots] - self._rate_vec[slots] * elapsed
+            np.maximum(progressed, 0.0, out=progressed)
+            self._rem[slots] = progressed
+            self._stat_flows_advanced += len(slots)
         self._last_update = now
 
     def _solve_rates(self) -> None:
-        """Vectorised progressive-filling max-min fair rate assignment."""
-        flows = self.active
-        n = len(flows)
-        if n == 0:
+        """Re-run progressive filling for whatever changed.
+
+        Incremental mode solves only the dirty components; reference
+        mode repartitions and solves every active flow from scratch.
+        Both call the same grouping-independent kernel, so they assign
+        bitwise-identical rates.
+        """
+        if self.solver == "reference":
+            if not self._fid_slot:
+                return
+            start = perf_counter()
+            for group in self._partition(self.active):
+                self._solve_component(group)
+            self._stat_solves += 1
+            self._stat_solve_time += perf_counter() - start
             return
+        if not self._dirty_comps and not self._split_comps:
+            return
+        start = perf_counter()
+        if self._split_comps:
+            for c in sorted(self._split_comps):
+                if c in self._comp_flows:
+                    self._repartition_comp(c)
+            self._split_comps.clear()
+        for c in sorted(self._dirty_comps):
+            flows = self._comp_flows[c]
+            self._solve_component([flows[fid] for fid in sorted(flows)])
+        self._dirty_comps.clear()
+        self._stat_solves += 1
+        self._stat_solve_time += perf_counter() - start
+
+    def _solve_component(self, flows: List[Flow]) -> None:
+        """Vectorised progressive filling for one contention component.
+
+        Each round recomputes every pending resource's *absolute*
+        saturation level ``(capacity - fixed_rates) / pending`` instead
+        of accumulating headroom decrements. All reductions are exact
+        (min / integer counts / per-resource sums in fid order), so the
+        result is independent of which other components share the call —
+        the property the incremental solver's correctness rests on.
+        """
+        n = len(flows)
         if self._caps_dirty:
             self._caps_array = np.asarray(self._capacities, dtype=float)
             self._caps_dirty = False
 
         id_arrays = [f.res_ids for f in flows]
-        pair_res = np.concatenate(id_arrays)
         lengths = np.fromiter((len(a) for a in id_arrays), dtype=np.int64, count=n)
+        flat = id_arrays[0] if n == 1 else np.concatenate(id_arrays)
         pair_flow = np.repeat(np.arange(n), lengths)
-        # Work directly in global resource ids: the registry is small, so
-        # full-length vectors beat a per-solve unique/sort.
-        m = len(self._caps_array)
-        headroom = self._caps_array.copy()
-        tol = 1e-9 * headroom  # per-resource saturation tolerance
+        # Compact the component's resources to local ids 0..m-1.
+        uniq, pair_res = np.unique(flat, return_inverse=True)
+        m = int(uniq.shape[0])
+        caps_local = self._caps_array[uniq]
+        fixed_load = np.zeros(m)  # sum of already-fixed rates per resource
         pending = np.bincount(pair_res, minlength=m)
-        rate_caps = np.fromiter(
-            (f.rate_cap if f.rate_cap is not None else np.inf for f in flows),
-            dtype=float,
-            count=n,
-        )
+        slots = np.fromiter((f._slot for f in flows), dtype=np.int64, count=n)
+        rate_caps = self._cap_vec[slots]
         fixed = np.zeros(n, dtype=bool)
         rates = np.zeros(n, dtype=float)
-        pair_live = np.ones(len(pair_flow), dtype=bool)
-        base = 0.0
+        pair_live = np.ones(pair_flow.shape[0], dtype=bool)
+        rounds = 0
 
         while not fixed.all():
-            active_res = pending > 0
-            if active_res.any():
-                shares = headroom[active_res] / pending[active_res]
-                limit = base + float(shares.min())
+            rounds += 1
+            pending_mask = pending > 0
+            if pending_mask.any():
+                levels = np.where(
+                    pending_mask,
+                    (caps_local - fixed_load) / np.maximum(pending, 1),
+                    np.inf,
+                )
+                level_min = float(levels.min())
+                if level_min < 0.0:
+                    level_min = 0.0  # float dust: resource already over-filled
             else:
-                limit = np.inf
-            cap_limit = float(rate_caps[~fixed].min())
-            limit = min(limit, cap_limit)
-            if not np.isfinite(limit):
+                levels = None
+                level_min = np.inf
+            cap_min = float(rate_caps[~fixed].min())
+            level = level_min if level_min < cap_min else cap_min
+            if not np.isfinite(level):
                 raise SimulationError("flow without binding constraint")
 
-            increment = limit - base
-            if increment > 0.0:
-                headroom -= increment * pending
-            base = limit
-
-            saturated = active_res & (headroom <= tol)
             newly = np.zeros(n, dtype=bool)
-            if saturated.any():
-                hit = saturated[pair_res] & pair_live
-                if hit.any():
-                    newly[pair_flow[hit]] = True
-            newly |= rate_caps <= base * (1.0 + 1e-12)
+            if levels is not None and level_min <= level:
+                saturated = pending_mask & (levels <= level)
+                if saturated.any():
+                    hit = saturated[pair_res] & pair_live
+                    if hit.any():
+                        newly[pair_flow[hit]] = True
+            newly |= rate_caps <= level
             newly &= ~fixed
             if not newly.any():
                 # Numerical corner: nothing bound this round. Fix all
-                # remaining flows at the current base to terminate.
+                # remaining flows at the current level to terminate.
                 newly = ~fixed
-            rates[newly] = base
+            rates[newly] = level
             fixed |= newly
             dead = newly[pair_flow] & pair_live
             if dead.any():
-                pending -= np.bincount(pair_res[dead], minlength=m)
+                dead_res = pair_res[dead]
+                pending -= np.bincount(dead_res, minlength=m)
+                fixed_load += np.bincount(
+                    dead_res, weights=np.full(dead_res.shape[0], level), minlength=m
+                )
                 pair_live &= ~dead
 
-        for flow, rate in zip(flows, rates):
-            flow.rate = float(rate)
+        self._rate_vec[slots] = rates
+        self._stat_rounds += rounds
+        self._stat_components += 1
+        self._stat_flows_solved += n
+        if n > self._stat_max_component:
+            self._stat_max_component = n
 
     def _resolve(self) -> None:
         """Re-solve rates and reschedule the next completion event."""
@@ -299,16 +712,20 @@ class FlowNetwork:
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        if not self.active:
+        if not self._fid_slot:
             return
-        next_eta = float("inf")
-        for flow in self.active:
-            eta = flow.eta()
-            if eta < next_eta:
-                next_eta = eta
+        slots = self._active_slots()
+        remaining = self._rem[slots]
+        rates = self._rate_vec[slots]
+        etas = np.full(slots.shape[0], np.inf)
+        flowing = rates > 0.0
+        if flowing.any():
+            etas[flowing] = remaining[flowing] / rates[flowing]
+        etas[remaining <= _EPSILON_BYTES] = 0.0
+        next_eta = float(etas.min())
         if next_eta == float("inf"):
             raise SimulationError(
-                f"{len(self.active)} active flow(s) are stalled at zero rate"
+                f"{slots.shape[0]} active flow(s) are stalled at zero rate"
             )
         self._completion_event = self.engine.schedule(
             next_eta, self._on_completion_event
@@ -321,11 +738,15 @@ class FlowNetwork:
             self._resolve_event.cancel()
             self._resolve_event = None
         self._advance()
-        finished = [f for f in self.active if f.remaining <= _EPSILON_BYTES]
-        if not finished:
+        slots = self._active_slots()
+        done = self._rem[slots] <= _EPSILON_BYTES
+        if not done.any():
             # Rates changed since the event was scheduled; just re-arm.
             self._resolve()
             return
+        finished = sorted(
+            (self._slot_flow[s] for s in slots[done]), key=lambda f: f.fid
+        )
         for flow in finished:
             self._remove(flow)
         self._resolve()

@@ -17,7 +17,7 @@ __all__ = ["Resource"]
 class Resource:
     """A capacity shared by the flows currently crossing it."""
 
-    __slots__ = ("name", "capacity", "flows", "kind")
+    __slots__ = ("name", "capacity", "kind", "_flows", "_load")
 
     def __init__(self, name: str, capacity: float, kind: str = "generic"):
         if capacity <= 0:
@@ -27,29 +27,54 @@ class Resource:
         self.name = name
         self.capacity = float(capacity)
         self.kind = kind
-        # Active flows are kept in a list ordered by flow id so the
-        # max-min solve visits them deterministically.
-        self.flows: list = []
+        # Active flows keyed by flow id with an attach multiplicity (a
+        # path may list the same resource more than once, charging the
+        # flow's rate against it repeatedly). Dict insertion order keeps
+        # iteration deterministic; keyed lookup makes detach O(1).
+        self._flows: dict = {}
+        self._load = 0
 
     def attach(self, flow) -> None:
-        self.flows.append(flow)
+        entry = self._flows.get(flow.fid)
+        if entry is None:
+            self._flows[flow.fid] = [flow, 1]
+        else:
+            entry[1] += 1
+        self._load += 1
 
     def detach(self, flow) -> None:
-        try:
-            self.flows.remove(flow)
-        except ValueError:
+        entry = self._flows.get(flow.fid)
+        if entry is None or entry[0] is not flow:
             raise SimulationError(
                 f"flow {flow!r} not attached to resource {self.name!r}"
-            ) from None
+            )
+        if entry[1] == 1:
+            del self._flows[flow.fid]
+        else:
+            entry[1] -= 1
+        self._load -= 1
+
+    @property
+    def flows(self) -> list:
+        """Attached flows in flow-id insertion order, repeated per
+        multiplicity (a snapshot list; do not mutate)."""
+        return [
+            flow for flow, count in self._flows.values() for _ in range(count)
+        ]
 
     @property
     def load(self) -> int:
-        """Number of flows currently crossing this resource."""
-        return len(self.flows)
+        """Number of flow attachments currently crossing this resource."""
+        return self._load
 
     def utilization(self) -> float:
         """Fraction of capacity allocated to current flow rates."""
-        return sum(f.rate for f in self.flows) / self.capacity
+        if not self._flows:
+            return 0.0
+        return (
+            sum(flow.rate * count for flow, count in self._flows.values())
+            / self.capacity
+        )
 
     def __repr__(self) -> str:
         return (
