@@ -7,6 +7,9 @@ Commands cover the common workflows without writing a script:
 * ``figure``  — run one of the paper's figure grids end to end;
 * ``traffic`` — Section IV transfer-count arithmetic for a grid of P;
 * ``validate``— data-checked run of every broadcast algorithm;
+* ``verify``  — static schedule verification: chunk provenance,
+  redundancy counts (``S - P``), rendezvous deadlock, match hazards;
+* ``lint``    — AST determinism lint over the simulation core;
 * ``cache``   — inspect or clear the persistent sweep-result cache.
 
 ``sweep`` and ``figure`` accept ``--jobs N`` to fan points out over N
@@ -19,6 +22,9 @@ Examples::
     python -m repro sweep --nranks 129 --sizes 12KiB,64KiB,512KiB,1MiB --jobs 4
     python -m repro figure --id fig6b --jobs 0
     python -m repro traffic --procs 8,10,16,64
+    python -m repro verify --collective bcast_native --nranks 8
+    python -m repro verify --nranks 2,5,8,10,16 --json
+    python -m repro lint
     python -m repro cache --clear
 """
 
@@ -237,6 +243,75 @@ def cmd_validate(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_verify(args) -> int:
+    import json as _json
+
+    from .analysis.verify import verifiable_collectives, verify_collective
+    from .errors import ConfigurationError
+    from .util import parse_size
+
+    nbytes = parse_size(args.nbytes)
+    ranks = [int(p) for p in args.nranks.split(",")]
+    reports = []
+    for nranks in ranks:
+        if args.collective == "all":
+            names = verifiable_collectives(nranks)
+        else:
+            names = [args.collective]
+        for name in names:
+            try:
+                reports.append(
+                    verify_collective(
+                        name,
+                        nranks,
+                        nbytes=nbytes,
+                        root=args.root,
+                        rendezvous=not args.no_rendezvous,
+                    )
+                )
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    failed = sum(
+        0 if (r.ok_strict() if args.strict else r.ok) else 1 for r in reports
+    )
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in reports], indent=2))
+        return 1 if failed else 0
+    table = Table(
+        ["collective", "P", "transfers", "redundant", "expected", "hazards",
+         "rendezvous", "verdict"],
+        title=f"static schedule verification (nbytes={nbytes}, root={args.root})",
+    )
+    for r in reports:
+        ok = r.ok_strict() if args.strict else r.ok
+        table.add_row(
+            r.collective,
+            r.nranks,
+            r.transfers,
+            r.redundant_count if r.tracked else "-",
+            r.expected_redundant if r.expected_redundant is not None else "-",
+            len(r.hazards),
+            "-" if r.rendezvous is None
+            else ("DEADLOCK" if r.rendezvous.deadlocked else "safe"),
+            "OK" if ok else "FAIL",
+        )
+    print(table)
+    for r in reports:
+        ok = r.ok_strict() if args.strict else r.ok
+        if not ok:
+            print()
+            print(r.describe())
+    print(f"\n{len(reports) - failed}/{len(reports)} schedule(s) verified")
+    return 1 if failed else 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis.lint import main as lint_main
+
+    return lint_main(args.paths)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +362,43 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("traffic", help="transfer-count table for process counts")
     p.add_argument("--procs", default="8,10,16,64", help="comma-separated P values")
     p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser(
+        "verify",
+        help="static schedule verification (provenance, redundancy, deadlock)",
+    )
+    p.add_argument(
+        "--collective",
+        default="all",
+        help="registry name (e.g. bcast_native) or 'all' (default)",
+    )
+    p.add_argument(
+        "--nranks", default="8", help="comma-separated process counts (default: 8)"
+    )
+    p.add_argument("--nbytes", default="64KiB", help="message size (default: 64KiB)")
+    p.add_argument("--root", type=int, default=0, help="root rank (default: 0)")
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="match-order hazards also fail the verdict",
+    )
+    p.add_argument(
+        "--no-rendezvous",
+        action="store_true",
+        help="skip the synchronous-send deadlock analysis",
+    )
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "lint", help="determinism lint over the simulation core (AST pass)"
+    )
+    p.add_argument(
+        "paths", nargs="*", help="files/dirs to lint (default: sim, collectives, mpi)"
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "validate", help="data-checked run of every broadcast algorithm"

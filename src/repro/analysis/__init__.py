@@ -1,4 +1,10 @@
-"""Trace analysis: timelines, phase summaries, Chrome trace export."""
+"""Trace analysis and static verification.
+
+Post-hoc trace tooling (timelines, phase summaries, Chrome trace
+export, critical path) plus the static schedule verifier
+(:mod:`repro.analysis.verify`) and the determinism lint
+(:mod:`repro.analysis.lint`).
+"""
 
 from .timeline import (
     TAG_NAMES,
@@ -12,6 +18,24 @@ from .timeline import (
 )
 from .critical_path import CriticalPath, critical_path
 from .chrometrace import to_chrome_trace, write_chrome_trace
+from .lint import LintViolation, lint_paths, lint_source
+from .verify import (
+    CollectiveSpec,
+    HazardPair,
+    RedundantTransfer,
+    RendezvousAnalyzer,
+    RendezvousReport,
+    VerifyReport,
+    Violation,
+    WaitForEdge,
+    analyze_rendezvous,
+    expected_redundant_native,
+    find_match_hazards,
+    verifiable_collectives,
+    verify_collective,
+    verify_program,
+    verify_provenance,
+)
 
 __all__ = [
     "TAG_NAMES",
@@ -26,4 +50,22 @@ __all__ = [
     "critical_path",
     "to_chrome_trace",
     "write_chrome_trace",
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+    "CollectiveSpec",
+    "HazardPair",
+    "RedundantTransfer",
+    "RendezvousAnalyzer",
+    "RendezvousReport",
+    "VerifyReport",
+    "Violation",
+    "WaitForEdge",
+    "analyze_rendezvous",
+    "expected_redundant_native",
+    "find_match_hazards",
+    "verifiable_collectives",
+    "verify_collective",
+    "verify_program",
+    "verify_provenance",
 ]

@@ -1,0 +1,1122 @@
+"""Static schedule verification: provenance, redundancy, deadlock, ordering.
+
+The paper's entire claim is a *static* property of the broadcast
+schedule: the tuned ring allgather ships strictly fewer messages because
+it never re-sends a chunk the receiver already holds (56 vs 44 at P=8,
+90 vs 75 at P=10, ``S - P`` saved in general, where ``S`` is the sum of
+binomial-subtree extents). This module proves the properties behind
+those counts — for any collective in the registry, at any P — without
+running the timing simulation:
+
+1. **Chunk provenance** (:func:`verify_provenance`): a forward data-flow
+   pass over per-rank chunk-ownership sets. Every send must only ship
+   chunks the sender already holds at that point of the recorded
+   schedule, and every rank must terminate owning its expected final
+   set (the full buffer, for broadcast/allgather).
+2. **Redundancy detection**: a transfer whose chunk set is already
+   wholly owned by the receiver is flagged. The native enclosed ring
+   produces exactly ``S - P`` of these; the paper's tuned ring produces
+   zero. Registry entries carry the expected count as an assertion.
+3. **Rendezvous deadlock analysis** (:class:`RendezvousAnalyzer`): the
+   program is re-run under *synchronous-send* semantics — stricter than
+   the schedule executor's buffered sends — and, on a stall, the
+   wait-for graph is reported with the blocked rank/op cycle.
+4. **Match-order hazards** (:func:`find_match_hazards`): pairs of
+   same-``(src, dst, tag)`` messages that were concurrently in flight
+   with different chunk sets or sizes. MPI's non-overtaking rule is the
+   only thing keeping their routing correct; the verifier surfaces that
+   reliance (rings and pipelined chains depend on it by design, so
+   hazards are warnings, not violations, unless ``strict``).
+
+Entry points: :func:`verify_collective` (registry name), and
+:func:`verify_program` for arbitrary rank programs. The ``repro
+verify`` CLI subcommand wraps them with table/JSON output.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..collectives import (
+    allgather_bruck,
+    allgather_rdbl,
+    allgather_ring,
+    allgatherv_ring,
+    allreduce_rabenseifner,
+    allreduce_reduce_bcast,
+    alltoall_bruck,
+    alltoall_pairwise,
+    barrier,
+    bcast_binomial,
+    bcast_chain,
+    bcast_knomial,
+    bcast_scatter_rdbl,
+    bcast_scatter_ring_native,
+    bcast_scatter_ring_opt,
+    binomial_scatter,
+    extract_schedule,
+    gather,
+    reduce,
+    reduce_scatter_halving,
+    reduce_scatter_ring,
+    relative_rank,
+    scan_linear,
+    scan_recursive_doubling,
+    subtree_chunks,
+)
+from ..collectives.schedule import ScheduleResult, _describe_request
+from ..errors import ConfigurationError, ReproError
+from ..mpi.comm import Communicator
+from ..mpi.context import RankContext
+from ..mpi.matching import Envelope, MatchingEngine
+from ..mpi.ops import ANY_SOURCE, ComputeOp, IrecvOp, IsendOp, RecvOp, SendOp, WaitOp
+from ..mpi.request import Request, Status
+from ..sim import Proc
+from ..util import ChunkSet, chunk_count, is_power_of_two, scatter_size
+
+__all__ = [
+    "Violation",
+    "RedundantTransfer",
+    "HazardPair",
+    "WaitForEdge",
+    "RendezvousReport",
+    "VerifyReport",
+    "CollectiveSpec",
+    "REGISTRY",
+    "verifiable_collectives",
+    "expected_redundant_native",
+    "verify_provenance",
+    "find_match_hazards",
+    "RendezvousAnalyzer",
+    "analyze_rendezvous",
+    "verify_program",
+    "verify_collective",
+]
+
+
+# ---------------------------------------------------------------------------
+# Report records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verifier finding that makes the schedule incorrect."""
+
+    kind: str  # "provenance" | "completeness" | "redundancy" | "deadlock" | "error"
+    detail: str
+    send_order: Optional[int] = None
+    rank: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.rank is not None:
+            where.append(f"rank {self.rank}")
+        if self.send_order is not None:
+            where.append(f"send #{self.send_order}")
+        prefix = f" ({', '.join(where)})" if where else ""
+        return f"[{self.kind}]{prefix} {self.detail}"
+
+
+@dataclass(frozen=True)
+class RedundantTransfer:
+    """A transfer whose entire chunk set the receiver already owned."""
+
+    order: int
+    src: int
+    dst: int
+    tag: int
+    chunks: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HazardPair:
+    """Two same-(src, dst, tag) messages concurrently in flight whose
+    reordering would change chunk routing."""
+
+    src: int
+    dst: int
+    tag: int
+    first_order: int
+    second_order: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class WaitForEdge:
+    """``rank`` cannot proceed until ``waits_on`` acts (op says why)."""
+
+    rank: int
+    waits_on: int
+    op: str
+
+
+@dataclass
+class RendezvousReport:
+    """Outcome of the synchronous-send deadlock analysis."""
+
+    deadlocked: bool
+    cycle: List[WaitForEdge] = field(default_factory=list)
+    blocked: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if not self.deadlocked:
+            return "rendezvous-safe"
+        if self.cycle:
+            chain = " -> ".join(
+                f"rank {e.rank} [{e.op}] waits on rank {e.waits_on}"
+                for e in self.cycle
+            )
+            return f"DEADLOCK cycle: {chain}"
+        return f"DEADLOCK (no cycle; orphaned ops): {'; '.join(self.blocked)}"
+
+
+@dataclass
+class VerifyReport:
+    """Everything the static verifier concluded about one schedule."""
+
+    collective: str
+    nranks: int
+    nbytes: int
+    root: int
+    transfers: int = 0
+    tracked: bool = False
+    redundant: List[RedundantTransfer] = field(default_factory=list)
+    expected_redundant: Optional[int] = None
+    violations: List[Violation] = field(default_factory=list)
+    hazards: List[HazardPair] = field(default_factory=list)
+    rendezvous: Optional[RendezvousReport] = None
+
+    @property
+    def redundant_count(self) -> int:
+        return len(self.redundant)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def ok_strict(self) -> bool:
+        """Like :attr:`ok` but match-order hazards also count as failures."""
+        return self.ok and not self.hazards
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.collective}: P={self.nranks}, nbytes={self.nbytes}, "
+            f"root={self.root} — {self.transfers} transfer(s)"
+        ]
+        if self.tracked:
+            expect = (
+                "" if self.expected_redundant is None
+                else f" (expected {self.expected_redundant})"
+            )
+            lines.append(f"  redundant transfers: {self.redundant_count}{expect}")
+        else:
+            lines.append("  chunk provenance: untracked for this collective")
+        lines.append(f"  match-order hazards: {len(self.hazards)}")
+        if self.rendezvous is not None:
+            lines.append(f"  rendezvous: {self.rendezvous.describe()}")
+        for v in self.violations:
+            lines.append(f"  VIOLATION {v}")
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "collective": self.collective,
+            "nranks": self.nranks,
+            "nbytes": self.nbytes,
+            "root": self.root,
+            "transfers": self.transfers,
+            "tracked": self.tracked,
+            "redundant_count": self.redundant_count if self.tracked else None,
+            "expected_redundant": self.expected_redundant,
+            "redundant": [
+                {
+                    "order": r.order,
+                    "src": r.src,
+                    "dst": r.dst,
+                    "tag": r.tag,
+                    "chunks": list(r.chunks),
+                }
+                for r in self.redundant
+            ],
+            "hazards": [
+                {
+                    "src": h.src,
+                    "dst": h.dst,
+                    "tag": h.tag,
+                    "first_order": h.first_order,
+                    "second_order": h.second_order,
+                    "detail": h.detail,
+                }
+                for h in self.hazards
+            ],
+            "rendezvous_deadlock": (
+                None if self.rendezvous is None else self.rendezvous.deadlocked
+            ),
+            "rendezvous_cycle": (
+                []
+                if self.rendezvous is None
+                else [
+                    {"rank": e.rank, "waits_on": e.waits_on, "op": e.op}
+                    for e in self.rendezvous.cycle
+                ]
+            ),
+            "violations": [str(v) for v in self.violations],
+            "ok": self.ok,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Pass 1 + 2: chunk provenance and redundancy (forward data-flow)
+# ---------------------------------------------------------------------------
+
+
+def verify_provenance(
+    schedule: ScheduleResult,
+    initial_owned: List[ChunkSet],
+    expected_final: Optional[List[ChunkSet]] = None,
+) -> Tuple[List[Violation], List[RedundantTransfer], List[ChunkSet]]:
+    """Forward data-flow pass over per-rank chunk-ownership sets.
+
+    Walks the recorded sends in execution order. A send may only ship
+    chunks its source already owns (ownership only ever grows, and the
+    recorded order is a valid linearization of the buffered execution,
+    so this is a sound proof for the schedule as run). The receiver
+    gains the shipped chunks; a transfer whose whole chunk set the
+    receiver already had is flagged redundant. Sends without chunk
+    metadata are ignored by the ownership pass.
+
+    Returns ``(violations, redundant_transfers, final_ownership)``.
+    """
+    if len(initial_owned) != schedule.nranks:
+        raise ConfigurationError(
+            f"initial_owned has {len(initial_owned)} entries for "
+            f"{schedule.nranks} ranks"
+        )
+    owned = [cs.copy() for cs in initial_owned]
+    violations: List[Violation] = []
+    redundant: List[RedundantTransfer] = []
+    for s in schedule.sends:
+        if not s.chunks:
+            continue
+        src_owned = owned[s.src]
+        missing = [c for c in s.chunks if c not in src_owned]
+        if missing:
+            violations.append(
+                Violation(
+                    kind="provenance",
+                    detail=(
+                        f"rank {s.src} sends chunks {missing} to rank {s.dst} "
+                        f"(tag {s.tag}) before owning them; owned: "
+                        f"{sorted(src_owned)}"
+                    ),
+                    send_order=s.order,
+                    rank=s.src,
+                )
+            )
+        dst_owned = owned[s.dst]
+        if s.nbytes > 0 and all(c in dst_owned for c in s.chunks):
+            # Zero-byte messages (empty trailing chunks kept circulating
+            # to preserve ring structure) waste no bandwidth and are not
+            # counted as redundant.
+            redundant.append(
+                RedundantTransfer(s.order, s.src, s.dst, s.tag, s.chunks)
+            )
+        for c in s.chunks:
+            dst_owned.add(c)
+    if expected_final is not None:
+        for rank, expect in enumerate(expected_final):
+            missing_chunks = [c for c in expect if c not in owned[rank]]
+            if missing_chunks:
+                violations.append(
+                    Violation(
+                        kind="completeness",
+                        detail=(
+                            f"rank {rank} terminates missing chunks "
+                            f"{missing_chunks}"
+                        ),
+                        rank=rank,
+                    )
+                )
+    return violations, redundant, owned
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: match-order hazards
+# ---------------------------------------------------------------------------
+
+
+def find_match_hazards(schedule: ScheduleResult) -> List[HazardPair]:
+    """Same-(src, dst, tag) message pairs concurrently in flight with
+    different payloads.
+
+    Two sends overlap when the second was issued before the first's
+    receive matched (on the executor's shared logical clock). Without
+    clock data every same-key pair is conservatively treated as
+    overlapping. MPI's non-overtaking rule fixes their match order; the
+    hazard records that reordering them would change chunk routing.
+    """
+    groups: Dict[Tuple[int, int, int], List] = {}
+    for s in schedule.sends:
+        groups.setdefault((s.src, s.dst, s.tag), []).append(s)
+    hazards: List[HazardPair] = []
+    for (src, dst, tag), sends in groups.items():
+        for i, a in enumerate(sends):
+            a_matched = schedule.match_clock.get(a.order)
+            for b in sends[i + 1 :]:
+                b_issued = schedule.issue_clock.get(b.order, -1)
+                if a_matched is not None and b_issued >= a_matched:
+                    break  # non-overtaking: later sends overlap even less
+                if a.chunks != b.chunks or a.nbytes != b.nbytes:
+                    hazards.append(
+                        HazardPair(
+                            src=src,
+                            dst=dst,
+                            tag=tag,
+                            first_order=a.order,
+                            second_order=b.order,
+                            detail=(
+                                f"sends #{a.order} (chunks {a.chunks}, "
+                                f"{a.nbytes} B) and #{b.order} (chunks "
+                                f"{b.chunks}, {b.nbytes} B) rely on "
+                                f"non-overtaking matching"
+                            ),
+                        )
+                    )
+    return hazards
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: rendezvous-mode deadlock analysis
+# ---------------------------------------------------------------------------
+
+_BLOCKED = object()
+
+
+class _RdvSend:
+    __slots__ = ("req",)
+
+    def __init__(self, req: Request):
+        self.req = req
+
+
+class _RdvRecv:
+    __slots__ = ("req",)
+
+    def __init__(self, req: Request):
+        self.req = req
+
+
+class _RdvWait:
+    __slots__ = ("requests", "remaining")
+
+    def __init__(self, requests, remaining: int):
+        self.requests = requests
+        self.remaining = remaining
+
+
+class RendezvousAnalyzer:
+    """Zero-time executor with *synchronous-send* semantics.
+
+    Unlike :class:`~repro.collectives.schedule.ScheduleExecutor` (whose
+    sends are buffered and never block), every send here blocks until
+    the matching receive is posted — MPI's ``MPI_Ssend`` / rendezvous
+    protocol. Programs that are only correct thanks to eager buffering
+    deadlock under this model; the analyzer reports the wait-for cycle
+    instead of hanging.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        program_factory: Callable[[RankContext], object],
+        comm: Optional[Communicator] = None,
+    ):
+        self.comm = comm if comm is not None else Communicator.world(nranks)
+        self.matching = [MatchingEngine(r) for r in range(nranks)]
+        self.procs: List[Proc] = []
+        self._parked: List[object] = [None] * self.comm.size
+        self._ready: "deque" = deque()
+        self._seq = 0
+        for local in range(self.comm.size):
+            glob = self.comm.to_global(local)
+            ctx = RankContext(glob, self.comm)
+            self.procs.append(Proc(f"rank{local}", program_factory(ctx)))
+
+    # -- driving ---------------------------------------------------------
+    def run(self) -> RendezvousReport:
+        for idx in range(len(self.procs)):
+            self._ready.append((idx, None))
+        while self._ready:
+            idx, value = self._ready.popleft()
+            self._advance(idx, value)
+        if all(p.finished for p in self.procs):
+            return RendezvousReport(deadlocked=False)
+        return self._diagnose()
+
+    def _advance(self, idx: int, value) -> None:
+        proc = self.procs[idx]
+        while True:
+            outcome = proc.advance(value)
+            if outcome.done:
+                return
+            result = self._execute(idx, outcome.value)
+            if result is _BLOCKED:
+                return
+            value = result
+
+    def _wakeup(self, idx: int, value) -> None:
+        self._parked[idx] = None
+        self._ready.append((idx, value))
+
+    # -- op execution ------------------------------------------------------
+    def _execute(self, idx: int, op):
+        glob = self.comm.to_global(idx)
+        if isinstance(op, (SendOp, IsendOp)):
+            req = Request(
+                "send",
+                owner=glob,
+                peer=op.dst,
+                tag=op.tag,
+                nbytes=op.nbytes,
+                chunks=op.chunks,
+            )
+            self._announce(req)
+            if isinstance(op, IsendOp):
+                return req
+            if req.complete:
+                return None
+            self._parked[idx] = _RdvSend(req)
+            req.on_complete(lambda _r, i=idx: self._wakeup(i, None))
+            return _BLOCKED
+        if isinstance(op, (RecvOp, IrecvOp)):
+            req = Request(
+                "recv", owner=glob, peer=op.src, tag=op.tag, nbytes=op.nbytes
+            )
+            env = self.matching[glob].post_recv(req)
+            if env is not None:
+                self._complete_pair(req, env)
+            if isinstance(op, IrecvOp):
+                return req
+            if req.complete:
+                return req.status
+            self._parked[idx] = _RdvRecv(req)
+            req.on_complete(lambda r, i=idx: self._wakeup(i, r.status))
+            return _BLOCKED
+        if isinstance(op, WaitOp):
+            requests = op.requests
+            remaining = sum(1 for r in requests if not r.complete)
+            if remaining == 0:
+                return [r.status for r in requests]
+            state = _RdvWait(requests, remaining)
+            self._parked[idx] = state
+
+            def one_done(_req, i=idx, state=state):
+                state.remaining -= 1
+                if state.remaining == 0:
+                    self._wakeup(i, [r.status for r in state.requests])
+
+            for r in requests:
+                if not r.complete:
+                    r.on_complete(one_done)
+            return _BLOCKED
+        if isinstance(op, ComputeOp):
+            return None
+        raise ConfigurationError(f"rendezvous analyzer got unknown op {op!r}")
+
+    # -- rendezvous transfer ------------------------------------------------
+    def _announce(self, req: Request) -> None:
+        """Deliver the envelope; the send completes only when matched."""
+        self._seq += 1
+        env = Envelope(req.owner, req.tag, req.nbytes, req, self._seq)
+        recv_req = self.matching[req.peer].arrive(env)
+        if recv_req is not None:
+            self._complete_pair(recv_req, env)
+
+    def _complete_pair(self, recv_req: Request, env: Envelope) -> None:
+        send_req = env.send_req
+        recv_req.finish(Status(env.src, env.tag, env.nbytes, send_req.chunks))
+        send_req.finish()
+
+    # -- diagnosis ----------------------------------------------------------
+    def _edges(self) -> Dict[int, List[WaitForEdge]]:
+        """Wait-for edges of every blocked rank (global rank keyed)."""
+        unfinished = {
+            self.comm.to_global(i)
+            for i, p in enumerate(self.procs)
+            if not p.finished
+        }
+        edges: Dict[int, List[WaitForEdge]] = {}
+
+        def add(rank: int, req: Request) -> None:
+            op = _describe_request(req)
+            targets = (
+                sorted(unfinished - {rank})
+                if req.kind == "recv" and req.peer == ANY_SOURCE
+                else [req.peer]
+            )
+            for peer in targets:
+                edges.setdefault(rank, []).append(WaitForEdge(rank, peer, op))
+
+        for idx, proc in enumerate(self.procs):
+            if proc.finished:
+                continue
+            glob = self.comm.to_global(idx)
+            parked = self._parked[idx]
+            if isinstance(parked, (_RdvSend, _RdvRecv)):
+                add(glob, parked.req)
+            elif isinstance(parked, _RdvWait):
+                for r in parked.requests:
+                    if not r.complete:
+                        add(glob, r)
+        return edges
+
+    def _diagnose(self) -> RendezvousReport:
+        edges = self._edges()
+        blocked = [
+            f"rank {rank}: {', '.join(e.op for e in rank_edges)}"
+            for rank, rank_edges in sorted(edges.items())
+        ]
+        cycle = _find_cycle(edges)
+        return RendezvousReport(deadlocked=True, cycle=cycle, blocked=blocked)
+
+
+def _find_cycle(edges: Dict[int, List[WaitForEdge]]) -> List[WaitForEdge]:
+    """First wait-for cycle via iterative DFS; [] when none exists."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rank: WHITE for rank in edges}
+    for start in sorted(edges):
+        if color[start] != WHITE:
+            continue
+        path: List[WaitForEdge] = []
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        color[start] = GRAY
+        while stack:
+            node, i = stack[-1]
+            outgoing = edges.get(node, [])
+            if i >= len(outgoing):
+                color[node] = BLACK
+                stack.pop()
+                if path:
+                    path.pop()
+                continue
+            stack[-1] = (node, i + 1)
+            edge = outgoing[i]
+            nxt = edge.waits_on
+            if color.get(nxt, BLACK) == GRAY:
+                # Found a back edge: slice the cycle out of the path.
+                path.append(edge)
+                for j, e in enumerate(path):
+                    if e.rank == nxt:
+                        return path[j:]
+                return path  # pragma: no cover - defensive
+            if color.get(nxt, BLACK) == WHITE:
+                color[nxt] = GRAY
+                path.append(edge)
+                stack.append((nxt, 0))
+    return []
+
+
+def analyze_rendezvous(
+    nranks: int,
+    program_factory: Callable[[RankContext], object],
+    comm: Optional[Communicator] = None,
+) -> RendezvousReport:
+    """One-call helper: run the synchronous-send analysis."""
+    return RendezvousAnalyzer(nranks, program_factory, comm=comm).run()
+
+
+# ---------------------------------------------------------------------------
+# Collective registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """How to build and judge one collective for verification.
+
+    ``build(nranks, nbytes, root)`` returns a program factory for the
+    executors. ``initial_owned``/``expected_final`` (per *global* rank,
+    relative chunk ids) enable the provenance pass; ``None`` marks the
+    collective untracked (no chunk metadata on its sends), in which case
+    only deadlock and hazard analysis run. ``expected_redundant`` turns
+    the redundancy count into an assertion.
+    """
+
+    name: str
+    build: Callable[[int, int, int], Callable[[RankContext], object]]
+    initial_owned: Optional[Callable[[int, int, int], List[ChunkSet]]] = None
+    expected_final: Optional[Callable[[int, int, int], List[ChunkSet]]] = None
+    expected_redundant: Optional[Callable[[int, int], Optional[int]]] = None
+    pof2_only: bool = False
+    description: str = ""
+
+    @property
+    def tracked(self) -> bool:
+        return self.initial_owned is not None
+
+    def supports(self, nranks: int) -> bool:
+        return nranks >= 1 and (not self.pof2_only or is_power_of_two(nranks))
+
+
+def _uniform_chunks(nranks: int, nbytes: int) -> bool:
+    """True when every one of the P scatter chunks carries bytes.
+
+    The paper's transfer arithmetic assumes this (its message sizes are
+    far above P); with empty trailing chunks MPICH skips transfers, so
+    the closed-form counts stop applying.
+    """
+    return nranks >= 1 and chunk_count(nbytes, nranks, nranks - 1) > 0
+
+
+def expected_redundant_native(nranks: int, nbytes: int = 1 << 20) -> Optional[int]:
+    """``S - P``: redundant transfers of the enclosed (native) ring.
+
+    ``S = sum(subtree_chunks(r))`` over relative ranks. Every non-leaf
+    subtree root of extent ``e`` receives ``e - 1`` chunks it already
+    holds from the scatter — exactly the sends the tuned ring drops
+    (12 at P=8: 56 -> 44; 15 at P=10: 90 -> 75). Returns ``None``
+    (assertion waived) when empty trailing chunks break the arithmetic.
+    """
+    if nranks < 2:
+        return 0
+    if not _uniform_chunks(nranks, nbytes):
+        return None
+    return sum(subtree_chunks(r, nranks) for r in range(nranks)) - nranks
+
+
+def _wrap(algo: Callable, *extra, **kw) -> Callable:
+    """Adapt ``algo(ctx, *args)`` into a ``build(nranks, nbytes, root)``."""
+
+    def build(nranks: int, nbytes: int, root: int):
+        args = [a(nranks, nbytes, root) if callable(a) else a for a in extra]
+
+        def factory(ctx: RankContext):
+            def program():
+                return (yield from algo(ctx, *args, **kw))
+
+            return program()
+
+        return factory
+
+    return build
+
+
+def _bcast_build(algo: Callable) -> Callable:
+    return _wrap(algo, lambda n, b, r: b, lambda n, b, r: r)
+
+
+def _block_build(algo: Callable) -> Callable:
+    """Collectives taking a per-rank block size instead of a total."""
+    return _wrap(algo, lambda n, b, r: scatter_size(b, n))
+
+
+def _empty_scatter_chunks(nranks: int, nbytes: int) -> List[int]:
+    """Chunk ids that carry zero bytes at this (nbytes, P).
+
+    The algorithms skip zero-byte subtree transfers (MPICH behaviour),
+    so data-flow treats empty chunks as universally pre-owned: there is
+    nothing to deliver.
+    """
+    return [i for i in range(nranks) if chunk_count(nbytes, nranks, i) == 0]
+
+
+def _bcast_initial(nranks: int, nbytes: int, root: int) -> List[ChunkSet]:
+    """Broadcast start: the root owns everything, everyone else only the
+    empty (zero-byte) chunks."""
+    empty = _empty_scatter_chunks(nranks, nbytes)
+    return [
+        ChunkSet.full(nranks) if g == root else ChunkSet(nranks, empty)
+        for g in range(nranks)
+    ]
+
+
+def _bcast_final(nranks: int, nbytes: int, root: int) -> List[ChunkSet]:
+    return [ChunkSet.full(nranks) for _ in range(nranks)]
+
+
+def _subtree_sets(nranks: int, root: int) -> List[ChunkSet]:
+    """Relative rank r's binomial-subtree run ``[r, r + extent)``."""
+    final = []
+    for g in range(nranks):
+        rel = relative_rank(g, root, nranks)
+        final.append(ChunkSet.interval(nranks, rel, subtree_chunks(rel, nranks)))
+    return final
+
+
+def _scatter_final(nranks: int, nbytes: int, root: int) -> List[ChunkSet]:
+    """Scatter end state: the subtree run, plus the zero-byte chunks
+    everyone owns by construction."""
+    empty = ChunkSet(nranks, _empty_scatter_chunks(nranks, nbytes))
+    final = _subtree_sets(nranks, root)
+    for cs in final:
+        cs.union_update(empty)
+    return final
+
+
+def _gather_final(nranks: int, nbytes: int, root: int) -> List[ChunkSet]:
+    """Gather end state: blocks are uniform (block_bytes * P total), so
+    no chunk is ever empty — each rank accumulates exactly its run."""
+    if scatter_size(nbytes, nranks) == 0:
+        return [ChunkSet.full(nranks) for _ in range(nranks)]
+    return _subtree_sets(nranks, root)
+
+
+def _block_initial(nranks: int, nbytes: int, root: int) -> List[ChunkSet]:
+    """Allgather start: global rank g owns physical block g (the root is
+    meaningless for allgathers; blocks are rank-indexed). When the
+    derived block size is zero there is no data at all — everything is
+    vacuously owned."""
+    if scatter_size(nbytes, nranks) == 0:
+        return [ChunkSet.full(nranks) for _ in range(nranks)]
+    return [ChunkSet(nranks, [g]) for g in range(nranks)]
+
+
+def _gather_initial(nranks: int, nbytes: int, root: int) -> List[ChunkSet]:
+    """Gather start: relative rank r contributes block r."""
+    if scatter_size(nbytes, nranks) == 0:
+        return [ChunkSet.full(nranks) for _ in range(nranks)]
+    return [
+        ChunkSet(nranks, [relative_rank(g, root, nranks)]) for g in range(nranks)
+    ]
+
+
+def _allgatherv_counts(nranks: int, nbytes: int, root: int) -> List[int]:
+    base = max(1, scatter_size(nbytes, nranks))
+    return [(i % 3 + 1) * base for i in range(nranks)]
+
+
+def _allgatherv_initial(nranks: int, nbytes: int, root: int) -> List[ChunkSet]:
+    """Allgatherv start: counts are clamped to >= 1 byte per rank (see
+    :func:`_allgatherv_counts`), so block g always carries data — no
+    vacuous-ownership fallback."""
+    return [ChunkSet(nranks, [g]) for g in range(nranks)]
+
+
+def _zero(_nranks: int, _nbytes: int) -> int:
+    return 0
+
+
+REGISTRY: Dict[str, CollectiveSpec] = {}
+
+
+def _register(spec: CollectiveSpec) -> None:
+    REGISTRY[spec.name] = spec
+
+
+_register(
+    CollectiveSpec(
+        name="bcast_native",
+        build=_bcast_build(bcast_scatter_ring_native),
+        initial_owned=_bcast_initial,
+        expected_final=_bcast_final,
+        expected_redundant=expected_redundant_native,
+        description="binomial scatter + enclosed ring (MPI_Bcast_native)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="bcast_opt",
+        build=_bcast_build(bcast_scatter_ring_opt),
+        initial_owned=_bcast_initial,
+        expected_final=_bcast_final,
+        expected_redundant=_zero,
+        description="binomial scatter + tuned ring (MPI_Bcast_opt, the paper)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="bcast_rdbl",
+        build=_bcast_build(bcast_scatter_rdbl),
+        initial_owned=_bcast_initial,
+        expected_final=_bcast_final,
+        pof2_only=True,
+        description="binomial scatter + recursive-doubling allgather",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="bcast_binomial",
+        build=_bcast_build(bcast_binomial),
+        description="short-message binomial tree (full-buffer, untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="bcast_knomial4",
+        build=_wrap(bcast_knomial, lambda n, b, r: b, lambda n, b, r: r, radix=4),
+        description="radix-4 k-nomial tree (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="bcast_chain",
+        build=_wrap(
+            bcast_chain, lambda n, b, r: b, lambda n, b, r: r, segment_bytes=65536
+        ),
+        description="pipelined chain, 64 KiB segments (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="scatter",
+        build=_bcast_build(binomial_scatter),
+        initial_owned=_bcast_initial,
+        expected_final=_scatter_final,
+        expected_redundant=_zero,
+        description="binomial-tree scatter (phase one of the broadcasts)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="gather",
+        build=_wrap(gather, lambda n, b, r: scatter_size(b, n), lambda n, b, r: r),
+        initial_owned=_gather_initial,
+        expected_final=_gather_final,
+        expected_redundant=_zero,
+        description="binomial-tree gather (scatter's mirror)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="allgather_ring",
+        build=_block_build(allgather_ring),
+        initial_owned=_block_initial,
+        expected_final=_bcast_final,
+        expected_redundant=_zero,
+        description="ring allgather (bandwidth-optimal, any P)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="allgather_rdbl",
+        build=_block_build(allgather_rdbl),
+        initial_owned=_block_initial,
+        expected_final=_bcast_final,
+        expected_redundant=_zero,
+        pof2_only=True,
+        description="recursive-doubling allgather",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="allgather_bruck",
+        build=_block_build(allgather_bruck),
+        initial_owned=_block_initial,
+        expected_final=_bcast_final,
+        expected_redundant=_zero,
+        description="Bruck (dissemination) allgather",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="allgatherv_ring",
+        build=_wrap(allgatherv_ring, _allgatherv_counts),
+        initial_owned=_allgatherv_initial,
+        expected_final=_bcast_final,
+        expected_redundant=_zero,
+        description="ring allgatherv with uneven per-rank counts",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="reduce",
+        build=_wrap(reduce, lambda n, b, r: b, lambda n, b, r: r),
+        description="binomial-tree reduce (data combined, untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="reduce_scatter_halving",
+        build=_wrap(reduce_scatter_halving, lambda n, b, r: b),
+        pof2_only=True,
+        description="recursive-halving reduce-scatter (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="reduce_scatter_ring",
+        build=_wrap(reduce_scatter_ring, lambda n, b, r: b),
+        description="ring reduce-scatter (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="allreduce_reduce_bcast",
+        build=_wrap(allreduce_reduce_bcast, lambda n, b, r: b),
+        description="binomial reduce + tuned broadcast (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="allreduce_rabenseifner",
+        build=_wrap(allreduce_rabenseifner, lambda n, b, r: b),
+        pof2_only=True,
+        description="Rabenseifner allreduce (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="scan_linear",
+        build=_wrap(scan_linear, lambda n, b, r: b),
+        description="linear (chain) prefix scan (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="scan_rd",
+        build=_wrap(scan_recursive_doubling, lambda n, b, r: b),
+        description="recursive-doubling prefix scan (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="alltoall_pairwise",
+        build=_block_build(alltoall_pairwise),
+        description="pairwise-exchange alltoall (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="alltoall_bruck",
+        build=_block_build(alltoall_bruck),
+        description="Bruck alltoall (untracked)",
+    )
+)
+_register(
+    CollectiveSpec(
+        name="barrier",
+        build=_wrap(barrier),
+        description="dissemination barrier (untracked)",
+    )
+)
+
+
+def verifiable_collectives(nranks: Optional[int] = None) -> List[str]:
+    """Registry names, optionally filtered to those supporting *nranks*."""
+    names = sorted(REGISTRY)
+    if nranks is None:
+        return names
+    return [n for n in names if REGISTRY[n].supports(nranks)]
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def verify_program(
+    nranks: int,
+    program_factory: Callable[[RankContext], object],
+    initial_owned: Optional[List[ChunkSet]] = None,
+    expected_final: Optional[List[ChunkSet]] = None,
+    expected_redundant: Optional[int] = None,
+    rendezvous_factory: Optional[Callable[[RankContext], object]] = None,
+    name: str = "<program>",
+    nbytes: int = 0,
+    root: int = 0,
+) -> VerifyReport:
+    """Statically verify an arbitrary rank program.
+
+    Runs the buffered schedule extraction, then the provenance /
+    redundancy / hazard passes (when ``initial_owned`` is given) and the
+    rendezvous deadlock analysis (when ``rendezvous_factory`` is given —
+    generators are single-use, so a *fresh* factory is required).
+    """
+    report = VerifyReport(
+        collective=name,
+        nranks=nranks,
+        nbytes=nbytes,
+        root=root,
+        tracked=initial_owned is not None,
+        expected_redundant=expected_redundant,
+    )
+    try:
+        schedule = extract_schedule(nranks, program_factory)
+    except ReproError as exc:
+        report.violations.append(
+            Violation(kind="error", detail=f"{type(exc).__name__}: {exc}")
+        )
+        return report
+    report.transfers = schedule.transfers
+    if initial_owned is not None:
+        violations, redundant, _ = verify_provenance(
+            schedule, initial_owned, expected_final
+        )
+        report.violations.extend(violations)
+        report.redundant = redundant
+        if expected_redundant is not None and len(redundant) != expected_redundant:
+            report.violations.append(
+                Violation(
+                    kind="redundancy",
+                    detail=(
+                        f"measured {len(redundant)} redundant transfer(s), "
+                        f"expected exactly {expected_redundant}"
+                    ),
+                )
+            )
+    report.hazards = find_match_hazards(schedule)
+    if rendezvous_factory is not None:
+        try:
+            report.rendezvous = analyze_rendezvous(nranks, rendezvous_factory)
+        except ReproError as exc:
+            report.rendezvous = RendezvousReport(
+                deadlocked=True, blocked=[f"{type(exc).__name__}: {exc}"]
+            )
+        if report.rendezvous.deadlocked:
+            report.violations.append(
+                Violation(
+                    kind="deadlock",
+                    detail=f"rendezvous analysis: {report.rendezvous.describe()}",
+                )
+            )
+    return report
+
+
+def verify_collective(
+    name: str,
+    nranks: int,
+    nbytes: int = 65536,
+    root: int = 0,
+    rendezvous: bool = True,
+) -> VerifyReport:
+    """Run the full verification pass for one registry collective."""
+    try:
+        spec = REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown collective {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+    if not spec.supports(nranks):
+        raise ConfigurationError(
+            f"collective {name!r} does not support P={nranks}"
+            + (" (power-of-two only)" if spec.pof2_only else "")
+        )
+    return verify_program(
+        nranks,
+        spec.build(nranks, nbytes, root),
+        initial_owned=(
+            spec.initial_owned(nranks, nbytes, root) if spec.initial_owned else None
+        ),
+        expected_final=(
+            spec.expected_final(nranks, nbytes, root) if spec.expected_final else None
+        ),
+        expected_redundant=(
+            spec.expected_redundant(nranks, nbytes)
+            if spec.expected_redundant is not None
+            else None
+        ),
+        rendezvous_factory=(
+            spec.build(nranks, nbytes, root) if rendezvous else None
+        ),
+        name=name,
+        nbytes=nbytes,
+        root=root,
+    )

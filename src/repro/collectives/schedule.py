@@ -18,8 +18,8 @@ are reported as :class:`~repro.errors.DeadlockError`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError, TruncationError
 from ..mpi.comm import Communicator
@@ -48,12 +48,23 @@ class RecordedSend:
 
 @dataclass
 class ScheduleResult:
-    """Everything the counting run observed."""
+    """Everything the counting run observed.
+
+    ``issue_clock`` and ``match_clock`` place each transfer on a single
+    logical clock shared by send issues and receive completions:
+    ``issue_clock[order]`` is when send *order* was issued and
+    ``match_clock[order]`` when its receive matched (absent while the
+    message is still unreceived at program end). The static verifier
+    uses these to decide which same-``(src, dst, tag)`` messages were
+    ever concurrently in flight.
+    """
 
     sends: List[RecordedSend]
     rank_results: List
     nranks: int
     placement: Optional[object] = None
+    issue_clock: Dict[int, int] = field(default_factory=dict)
+    match_clock: Dict[int, int] = field(default_factory=dict)
 
     @property
     def transfers(self) -> int:
@@ -79,6 +90,15 @@ class ScheduleResult:
 
     def sends_to(self, rank: int) -> List[RecordedSend]:
         return [s for s in self.sends if s.dst == rank]
+
+
+def _describe_request(req: Request) -> str:
+    """``recv(src=3, tag=2, nbytes=64)``-style rendering for reports."""
+    if req.kind == "recv":
+        src = "ANY_SOURCE" if req.peer < 0 else req.peer
+        tag = "ANY_TAG" if req.tag < 0 else req.tag
+        return f"recv(src={src}, tag={tag}, nbytes={req.nbytes})"
+    return f"send(dst={req.peer}, tag={req.tag}, nbytes={req.nbytes})"
 
 
 class _ParkedRecv:
@@ -110,6 +130,10 @@ class ScheduleExecutor:
         self.comm = comm if comm is not None else Communicator.world(nranks)
         self.placement = placement
         self.sends: List[RecordedSend] = []
+        self.issue_clock: Dict[int, int] = {}
+        self.match_clock: Dict[int, int] = {}
+        self._clock = 0
+        self._env_order: Dict[int, int] = {}  # envelope seq -> send order
         self.matching = [MatchingEngine(r) for r in range(nranks)]
         self.procs: List[Proc] = []
         self.contexts: List[RankContext] = []
@@ -131,12 +155,16 @@ class ScheduleExecutor:
         while self._ready:
             idx, value = self._ready.popleft()
             self._advance(idx, value)
-        unfinished = [repr(p) for p in self.procs if not p.finished]
+        unfinished = [
+            self._describe_blocked(idx)
+            for idx, p in enumerate(self.procs)
+            if not p.finished
+        ]
         if unfinished:
             unfinished.extend(
                 eng.describe_blockage()
                 for eng in self.matching
-                if eng.pending_recvs or eng.pending_unexpected
+                if eng.pending_unexpected
             )
             raise DeadlockError(unfinished)
         return ScheduleResult(
@@ -144,7 +172,25 @@ class ScheduleExecutor:
             rank_results=[p.result for p in self.procs],
             nranks=self.comm.size,
             placement=self.placement,
+            issue_clock=self.issue_clock,
+            match_clock=self.match_clock,
         )
+
+    def _describe_blocked(self, idx: int) -> str:
+        """Name the rank and the exact op an unfinished program is parked on."""
+        glob = self.comm.to_global(idx)
+        parked = self._parked[idx]
+        if isinstance(parked, _ParkedRecv):
+            return f"rank {glob} blocked in {_describe_request(parked.req)}"
+        if isinstance(parked, _ParkedWait):
+            pending = [
+                _describe_request(r) for r in parked.requests if not r.complete
+            ]
+            return (
+                f"rank {glob} blocked in waitall on {parked.remaining} of "
+                f"{len(parked.requests)} request(s): {', '.join(pending)}"
+            )
+        return f"rank {glob} never ran to completion ({self.procs[idx]!r})"
 
     def _advance(self, idx: int, value) -> None:
         proc = self.procs[idx]
@@ -233,13 +279,19 @@ class ScheduleExecutor:
                 chunks=req.chunks,
             )
         )
+        order = len(self.sends) - 1
+        self.issue_clock[order] = self._clock
+        self._clock += 1
         env = Envelope(req.owner, req.tag, req.nbytes, (req, payload), len(self.sends))
+        self._env_order[env.seq] = order
         req.finish()  # buffered: sends always complete immediately
         recv_req = self.matching[req.peer].arrive(env)
         if recv_req is not None:
             self._complete_recv(recv_req, env)
 
     def _complete_recv(self, recv_req: Request, env: Envelope) -> None:
+        self.match_clock[self._env_order[env.seq]] = self._clock
+        self._clock += 1
         send_req, payload = env.send_req
         if env.nbytes > recv_req.nbytes:
             raise TruncationError(

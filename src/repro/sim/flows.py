@@ -602,15 +602,15 @@ class FlowNetwork:
         if self.solver == "reference":
             if not self._fid_slot:
                 return
-            start = perf_counter()
+            start = perf_counter()  # det: allow — telemetry, not sim state
             for group in self._partition(self.active):
                 self._solve_component(group)
             self._stat_solves += 1
-            self._stat_solve_time += perf_counter() - start
+            self._stat_solve_time += perf_counter() - start  # det: allow
             return
         if not self._dirty_comps and not self._split_comps:
             return
-        start = perf_counter()
+        start = perf_counter()  # det: allow — telemetry, not sim state
         if self._split_comps:
             for c in sorted(self._split_comps):
                 if c in self._comp_flows:
@@ -621,7 +621,7 @@ class FlowNetwork:
             self._solve_component([flows[fid] for fid in sorted(flows)])
         self._dirty_comps.clear()
         self._stat_solves += 1
-        self._stat_solve_time += perf_counter() - start
+        self._stat_solve_time += perf_counter() - start  # det: allow
 
     def _solve_component(self, flows: List[Flow]) -> None:
         """Vectorised progressive filling for one contention component.

@@ -157,3 +157,143 @@ class TestRecording:
         (s,) = res.sends
         assert (s.src, s.dst) == (2, 0)  # recorded in global ranks
         assert res.rank_results[1] == 0  # status localised to comm
+
+
+class TestDeadlockReporting:
+    """DeadlockError must name the blocked ranks and their parked ops."""
+
+    def test_recv_cycle_names_ranks_and_ops(self):
+        def body(ctx):
+            peer = 1 - ctx.rank
+            yield from ctx.recv(peer, 4, tag=9)
+            yield from ctx.send(peer, 4, tag=9)
+
+        with pytest.raises(DeadlockError) as exc:
+            extract_schedule(2, prog_factory(body))
+        msg = str(exc.value)
+        assert "rank 0 blocked in recv(src=1, tag=9, nbytes=4)" in msg
+        assert "rank 1 blocked in recv(src=0, tag=9, nbytes=4)" in msg
+        assert len(exc.value.blocked) == 2
+
+    def test_waitall_deadlock_lists_pending_requests(self):
+        def body(ctx):
+            if ctx.rank == 0:
+                r1 = yield from ctx.irecv(1, 4, tag=1)
+                r2 = yield from ctx.irecv(1, 4, tag=2)
+                yield from ctx.waitall([r1, r2])
+            else:
+                yield from ctx.send(0, 4, tag=1)  # tag=2 never sent
+
+        with pytest.raises(DeadlockError) as exc:
+            extract_schedule(2, prog_factory(body))
+        msg = str(exc.value)
+        assert "rank 0 blocked in waitall on 1 of 2 request(s)" in msg
+        assert "recv(src=1, tag=2, nbytes=4)" in msg
+
+    def test_mismatched_tag_reports_unexpected_message(self):
+        """A send with the wrong tag parks the receiver AND shows up as an
+        unexpected envelope in the deadlock report."""
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 4, tag=7)
+            else:
+                yield from ctx.recv(0, 4, tag=5)
+
+        with pytest.raises(DeadlockError) as exc:
+            extract_schedule(2, prog_factory(body))
+        msg = str(exc.value)
+        assert "rank 1 blocked in recv(src=0, tag=5, nbytes=4)" in msg
+        assert "unexpected(src=0, tag=7)" in msg
+
+    def test_any_source_recv_described(self):
+        from repro.mpi.ops import ANY_SOURCE
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv(ANY_SOURCE, 4, tag=3)
+            else:
+                return
+                yield
+
+        with pytest.raises(DeadlockError) as exc:
+            extract_schedule(2, prog_factory(body))
+        assert "rank 0 blocked in recv(src=ANY_SOURCE, tag=3, nbytes=4)" in str(
+            exc.value
+        )
+
+
+class TestTruncationAndTags:
+    def test_truncation_via_irecv_waitall(self):
+        """The nonblocking path raises TruncationError at match time too."""
+        bufs = [RealBuffer(16, fill=2), RealBuffer(16)]
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 16)
+            else:
+                r = yield from ctx.irecv(0, 8)
+                yield from ctx.waitall([r])
+
+        with pytest.raises(TruncationError):
+            extract_schedule(2, prog_factory(body), buffers=bufs)
+
+    def test_truncation_message_names_sizes_and_rank(self):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 32)
+            else:
+                yield from ctx.recv(0, 8)
+
+        with pytest.raises(TruncationError, match="32 bytes.*8 bytes.*rank 1"):
+            extract_schedule(2, prog_factory(body))
+
+    def test_truncation_when_recv_posted_first(self):
+        """Posted-recv-then-send hits the other matching branch."""
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv(1, 8)
+            else:
+                yield from ctx.send(0, 32)
+
+        with pytest.raises(TruncationError):
+            extract_schedule(2, prog_factory(body))
+
+    def test_matching_tags_select_among_pending_sends(self):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 4, tag=11, chunks=(0,))
+                yield from ctx.send(1, 4, tag=12, chunks=(1,))
+            else:
+                s12 = yield from ctx.recv(0, 4, tag=12)
+                s11 = yield from ctx.recv(0, 4, tag=11)
+                return (s12.chunks, s11.chunks)
+
+        res = extract_schedule(2, prog_factory(body))
+        assert res.rank_results[1] == ((1,), (0,))
+
+    def test_clocks_cover_all_matched_sends(self):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 4, tag=1)
+                yield from ctx.send(1, 4, tag=2)
+            else:
+                yield from ctx.recv(0, 4, tag=1)
+                yield from ctx.recv(0, 4, tag=2)
+
+        res = extract_schedule(2, prog_factory(body))
+        assert sorted(res.issue_clock) == [0, 1]
+        assert sorted(res.match_clock) == [0, 1]
+        for order in (0, 1):
+            assert res.issue_clock[order] < res.match_clock[order]
+
+    def test_unmatched_send_has_no_match_clock(self):
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.isend(1, 4, tag=1)
+            return
+            yield
+
+        res = extract_schedule(2, prog_factory(body))
+        assert 0 in res.issue_clock and 0 not in res.match_clock

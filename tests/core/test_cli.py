@@ -157,3 +157,78 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "skipped (needs pof2)" in out
+
+
+class TestVerifyCommand:
+    def test_native_p8_reports_12_redundant(self, capsys):
+        rc = main(["verify", "--collective", "bcast_native", "--nranks", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "12" in out and "OK" in out
+        assert "1/1 schedule(s) verified" in out
+
+    def test_opt_p8_reports_zero_redundant(self, capsys):
+        rc = main(["verify", "--collective", "bcast_opt", "--nranks", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bcast_opt" in out and "OK" in out
+
+    def test_all_collectives_multiple_p(self, capsys):
+        rc = main(["verify", "--nranks", "4,5", "--nbytes", "4KiB"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bcast_native" in out and "allgather_ring" in out
+        # pof2-only collectives appear for P=4 but are skipped at P=5.
+        assert out.count("bcast_rdbl") == 1
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(
+            ["verify", "--collective", "bcast_opt", "--nranks", "8", "--json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data[0]["collective"] == "bcast_opt"
+        assert data[0]["redundant_count"] == 0 and data[0]["ok"] is True
+
+    def test_strict_mode_fails_on_hazards(self, capsys):
+        rc = main(
+            ["verify", "--collective", "bcast_native", "--nranks", "8", "--strict"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out
+
+    def test_unknown_collective_exits_two(self, capsys):
+        rc = main(["verify", "--collective", "nope", "--nranks", "8"])
+        assert rc == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+    def test_no_rendezvous_skips_column(self, capsys):
+        rc = main(
+            [
+                "verify",
+                "--collective",
+                "bcast_opt",
+                "--nranks",
+                "4",
+                "--no-rendezvous",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0 and "safe" not in out
+
+
+class TestLintCommand:
+    def test_default_targets_clean(self, capsys):
+        rc = main(["lint"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "clean" in out
+
+    def test_dirty_file_fails(self, capsys, tmp_path):
+        f = tmp_path / "dirty.py"
+        f.write_text("import time\nx = time.time()\n")
+        rc = main(["lint", str(f)])
+        out = capsys.readouterr().out
+        assert rc == 1 and "wall-clock" in out

@@ -18,6 +18,8 @@ DOCS = [
     ROOT / "docs" / "api.md",
     ROOT / "docs" / "reproducing.md",
     ROOT / "docs" / "collectives.md",
+    ROOT / "docs" / "performance.md",
+    ROOT / "docs" / "analysis.md",
 ]
 
 _PATH_RE = re.compile(
