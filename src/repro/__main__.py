@@ -8,7 +8,13 @@ Commands cover the common workflows without writing a script:
 * ``traffic`` — Section IV transfer-count arithmetic for a grid of P;
 * ``validate``— data-checked run of every broadcast algorithm;
 * ``verify``  — static schedule verification: chunk provenance,
-  redundancy counts (``S - P``), rendezvous deadlock, match hazards;
+  redundancy counts (``S - P``), rendezvous deadlock, match hazards,
+  plus a cost-model consistency pass (``--no-cost`` to skip);
+* ``cost``    — static α-β/LogGP cost table per collective; ``--grid``
+  runs the full sim-differential gate (``--strict`` for nonzero exit);
+* ``trace``   — simulate one collective with tracing and report the
+  critical path (``--critical-path``) or export a Chrome trace
+  (``--chrome out.json``);
 * ``lint``    — AST determinism lint over the simulation core;
 * ``cache``   — inspect or clear the persistent sweep-result cache.
 
@@ -24,6 +30,9 @@ Examples::
     python -m repro traffic --procs 8,10,16,64
     python -m repro verify --collective bcast_native --nranks 8
     python -m repro verify --nranks 2,5,8,10,16 --json
+    python -m repro cost --nranks 8 --nbytes 1MiB
+    python -m repro cost --grid --strict
+    python -m repro trace --collective bcast_opt --nranks 8 --critical-path
     python -m repro lint
     python -m repro cache --clear
 """
@@ -275,9 +284,39 @@ def cmd_verify(args) -> int:
     failed = sum(
         0 if (r.ok_strict() if args.strict else r.ok) else 1 for r in reports
     )
+    cost_failures = []
+    if not args.no_cost:
+        # Extra pass: the static cost model must reproduce the verifier's
+        # transfer counts from its own independent schedule extraction.
+        from .analysis.costmodel import analyze_collective
+        from .machine import ideal as _ideal
+
+        for r in reports:
+            try:
+                cost = analyze_collective(
+                    r.collective, r.nranks, r.nbytes, root=r.root, spec=_ideal()
+                )
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                cost_failures.append(
+                    f"{r.collective} P={r.nranks}: cost model raised "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            if cost.transfers != r.transfers:
+                cost_failures.append(
+                    f"{r.collective} P={r.nranks}: cost model counted "
+                    f"{cost.transfers} transfer(s), verifier {r.transfers}"
+                )
+            elif cost.transfers > 0 and cost.t_bound <= 0:
+                cost_failures.append(
+                    f"{r.collective} P={r.nranks}: {cost.transfers} "
+                    f"transfer(s) but a zero time bound"
+                )
     if args.json:
         print(_json.dumps([r.to_dict() for r in reports], indent=2))
-        return 1 if failed else 0
+        for line in cost_failures:
+            print(f"cost pass: {line}", file=sys.stderr)
+        return 1 if failed or cost_failures else 0
     table = Table(
         ["collective", "P", "transfers", "redundant", "expected", "hazards",
          "rendezvous", "verdict"],
@@ -302,8 +341,147 @@ def cmd_verify(args) -> int:
         if not ok:
             print()
             print(r.describe())
+    if not args.no_cost:
+        if cost_failures:
+            print("\ncost-model consistency pass:")
+            for line in cost_failures:
+                print(f"  FAIL {line}")
+        else:
+            print(f"\ncost-model consistency pass: {len(reports)} report(s) OK")
     print(f"\n{len(reports) - failed}/{len(reports)} schedule(s) verified")
-    return 1 if failed else 0
+    return 1 if failed or cost_failures else 0
+
+
+def cmd_cost(args) -> int:
+    import json as _json
+
+    from .analysis.costmodel import analyze_collective, differential_gate
+    from .analysis.verify import verifiable_collectives
+    from .errors import ConfigurationError
+    from .util import parse_size
+
+    # The gate's band guarantees are calibrated against the contention-free
+    # ideal preset (the spec the bound provably tracks); the per-collective
+    # table defaults to hornet like every other simulation command.
+    if args.machine is None:
+        args.machine = "ideal" if args.grid else "hornet"
+    spec = _spec(args)
+    if args.grid:
+        report = differential_gate(
+            spec=spec,
+            placement=args.placement,
+            band=args.band,
+            progress=None if args.json else print,
+        )
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.describe())
+        return (1 if not report.ok else 0) if args.strict else 0
+
+    nbytes = parse_size(args.nbytes)
+    if args.collective == "all":
+        names = verifiable_collectives(args.nranks)
+    else:
+        names = [args.collective]
+    reports = []
+    for name in names:
+        try:
+            reports.append(
+                analyze_collective(
+                    name,
+                    args.nranks,
+                    nbytes,
+                    root=args.root,
+                    spec=spec,
+                    placement=args.placement,
+                )
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in reports], indent=2))
+        return 0
+    table = Table(
+        ["collective", "transfers", "bytes", "rounds", "t_chain us",
+         "t_link us", "t_bound us", "busiest link"],
+        formats=[None, None, None, None, ".2f", ".2f", ".2f", None],
+        title=(
+            f"static cost model: P={args.nranks}, nbytes={nbytes}, "
+            f"root={args.root} on {spec.name} ({args.placement})"
+        ),
+    )
+    for r in reports:
+        busiest = r.busiest_link
+        table.add_row(
+            r.collective,
+            r.transfers,
+            r.total_bytes,
+            r.rounds,
+            r.t_chain * 1e6,
+            r.t_link * 1e6,
+            r.t_bound * 1e6,
+            busiest.name if busiest is not None else "-",
+        )
+    print(table)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .analysis import critical_path, phase_summary, write_chrome_trace
+    from .analysis.verify import REGISTRY
+    from .errors import ReproError
+    from .machine import Machine
+    from .mpi.runtime import Job
+    from .sim import Trace
+    from .util import parse_size
+
+    nbytes = parse_size(args.nbytes)
+    spec = _spec(args)
+    collective = REGISTRY.get(args.collective)
+    if collective is None:
+        print(
+            f"error: unknown collective {args.collective!r}; "
+            f"known: {sorted(REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    if not collective.supports(args.nranks):
+        print(
+            f"error: {args.collective!r} does not support P={args.nranks}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        machine = Machine(spec, args.nranks, args.placement)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = Trace()
+    job = Job(
+        machine,
+        collective.build(args.nranks, nbytes, args.root),
+        trace=trace,
+        working_set=nbytes,
+    )
+    result = job.run()
+    print(
+        f"{args.collective}: P={args.nranks}, nbytes={nbytes} on {spec.name} "
+        f"— makespan {result.time * 1e6:.2f}us, "
+        f"{result.counters.messages} message(s)"
+    )
+    for phase, entry in sorted(phase_summary(trace).items()):
+        print(
+            f"  {phase}: {entry['messages']} msg(s), {entry['bytes']} B, "
+            f"{entry['duration'] * 1e6:.2f}us"
+        )
+    if args.critical_path:
+        print(f"critical path: {critical_path(trace).describe()}")
+    if args.chrome:
+        write_chrome_trace(trace, args.chrome)
+        print(f"chrome trace written to {args.chrome}")
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -390,7 +568,84 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the synchronous-send deadlock analysis",
     )
+    p.add_argument(
+        "--no-cost",
+        action="store_true",
+        help="skip the cost-model consistency pass",
+    )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "cost",
+        help="static alpha-beta/LogGP cost model (table or differential gate)",
+    )
+    p.add_argument(
+        "--machine",
+        choices=sorted(_PRESETS),
+        default=None,
+        help="machine preset (default: hornet for the table, ideal for --grid)",
+    )
+    p.add_argument("--nodes", type=int, default=0, help="override node count")
+    p.add_argument(
+        "--placement",
+        choices=["blocked", "round_robin"],
+        default="blocked",
+        help="rank placement policy",
+    )
+    p.add_argument(
+        "--collective",
+        default="all",
+        help="registry name (e.g. bcast_native) or 'all' (default)",
+    )
+    p.add_argument("--nranks", type=int, default=8, help="process count (default: 8)")
+    p.add_argument("--nbytes", default="1MiB", help="message size (default: 1MiB)")
+    p.add_argument("--root", type=int, default=0, help="root rank (default: 0)")
+    p.add_argument(
+        "--grid",
+        action="store_true",
+        help="run the full static-vs-simulation differential gate",
+    )
+    p.add_argument(
+        "--band",
+        type=float,
+        default=0.5,
+        help="tightness band for --grid: t_bound >= band * makespan (default: 0.5)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --grid: exit nonzero when any gate check fails",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser(
+        "trace",
+        help="simulate one collective with tracing (critical path, chrome export)",
+    )
+    _add_machine_args(p)
+    p.add_argument(
+        "--collective",
+        default="bcast_opt",
+        help="registry name to simulate (default: bcast_opt)",
+    )
+    p.add_argument("--nranks", type=int, default=8, help="process count (default: 8)")
+    p.add_argument("--nbytes", default="1MiB", help="message size (default: 1MiB)")
+    p.add_argument("--root", type=int, default=0, help="root rank (default: 0)")
+    p.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the heaviest dependency chain in the trace",
+    )
+    p.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing JSON file to PATH",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "lint", help="determinism lint over the simulation core (AST pass)"

@@ -2,7 +2,9 @@
 
 Post-hoc trace tooling (timelines, phase summaries, Chrome trace
 export, critical path) plus the static schedule verifier
-(:mod:`repro.analysis.verify`) and the determinism lint
+(:mod:`repro.analysis.verify`), the α-β/LogGP cost engine
+(:mod:`repro.analysis.costmodel`), the symbolic all-P savings proofs
+(:mod:`repro.analysis.symbolic`) and the determinism lint
 (:mod:`repro.analysis.lint`).
 """
 
@@ -18,7 +20,23 @@ from .timeline import (
 )
 from .critical_path import CriticalPath, critical_path
 from .chrometrace import to_chrome_trace, write_chrome_trace
+from .costmodel import (
+    CostReport,
+    GateCheck,
+    GateReport,
+    LinkLoad,
+    analyze_collective,
+    analyze_schedule,
+    differential_gate,
+)
 from .lint import LintViolation, lint_paths, lint_source
+from .symbolic import (
+    SavingsProof,
+    prove_savings,
+    prove_savings_range,
+    subtree_extents,
+    subtree_sum,
+)
 from .verify import (
     CollectiveSpec,
     HazardPair,
@@ -50,9 +68,21 @@ __all__ = [
     "critical_path",
     "to_chrome_trace",
     "write_chrome_trace",
+    "CostReport",
+    "GateCheck",
+    "GateReport",
+    "LinkLoad",
+    "analyze_collective",
+    "analyze_schedule",
+    "differential_gate",
     "LintViolation",
     "lint_paths",
     "lint_source",
+    "SavingsProof",
+    "prove_savings",
+    "prove_savings_range",
+    "subtree_extents",
+    "subtree_sum",
     "CollectiveSpec",
     "HazardPair",
     "RedundantTransfer",

@@ -59,8 +59,10 @@ def critical_path(trace: Trace, tag: Optional[int] = None) -> CriticalPath:
 
     # DAG over spans; edge A -> B when B could only start after A at a
     # shared endpoint. Spans sorted by start; longest-path DP over that
-    # topological-compatible order.
-    spans.sort(key=lambda s: (s.start, s.end))
+    # topological-compatible order. The (src, dst, tag) tail makes the
+    # order — and therefore parent choice among equal-time spans — a
+    # pure function of the trace contents.
+    spans.sort(key=lambda s: (s.start, s.end, s.src, s.dst, s.tag))
     n = len(spans)
     best_time = [s.duration for s in spans]  # accumulated transfer time
     parent: List[Optional[int]] = [None] * n
@@ -78,8 +80,17 @@ def critical_path(trace: Trace, tag: Optional[int] = None) -> CriticalPath:
                 best_time[j] = cand
                 parent[j] = i
 
-    # Chain with the latest end; ties broken by transfer time.
-    end_idx = max(range(n), key=lambda k: (spans[k].end, best_time[k]))
+    # Chain with the latest end; ties broken by transfer time, then by
+    # the deterministic span order (max keeps the first of exact ties,
+    # so prefer the lowest (src, dst, tag) explicitly).
+    end_idx = max(
+        range(n),
+        key=lambda k: (
+            spans[k].end,
+            best_time[k],
+            (-spans[k].src, -spans[k].dst, -spans[k].tag),
+        ),
+    )
     chain = []
     k: Optional[int] = end_idx
     while k is not None:

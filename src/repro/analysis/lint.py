@@ -5,8 +5,9 @@ being a pure function of its inputs: the same sweep re-run on another
 machine must produce bit-identical transfer counts, timings, and cached
 results (the disk cache keys on content hashes, so hidden
 nondeterminism silently poisons it). This lint enforces that statically
-for the deterministic core — ``sim/``, ``collectives/``, ``mpi/`` —
-where neither wall-clock time nor global random state may be consulted:
+for the deterministic core — ``sim/``, ``collectives/``, ``mpi/``,
+``machine/``, ``analysis/`` — where neither wall-clock time nor global
+random state may be consulted:
 
 * ``time.time`` / ``monotonic`` / ``perf_counter`` (and ``_ns``
   variants): simulated time comes from the event loop, never the host.
@@ -45,8 +46,11 @@ __all__ = [
     "main",
 ]
 
-#: Packages under ``src/repro`` that must stay deterministic.
-DEFAULT_TARGETS = ("sim", "collectives", "mpi")
+#: Packages under ``src/repro`` that must stay deterministic. ``machine``
+#: and ``analysis`` joined once the static cost model started deriving
+#: results from them (a nondeterministic link enumeration or cost pass
+#: would poison the differential gate just like a nondeterministic sim).
+DEFAULT_TARGETS = ("sim", "collectives", "mpi", "machine", "analysis")
 
 ALLOW_MARKER = "det: allow"
 

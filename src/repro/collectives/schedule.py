@@ -57,6 +57,17 @@ class ScheduleResult:
     message is still unreceived at program end). The static verifier
     uses these to decide which same-``(src, dst, tag)`` messages were
     ever concurrently in flight.
+
+    ``observed`` and ``dep_counts`` record the happens-before structure
+    the cost model's round decomposition needs: ``observed[rank]`` lists
+    the send orders whose payloads *rank*'s program had consumed (a
+    blocking recv returned, or a waitall covering the irecv completed)
+    in consumption order, and ``dep_counts[order]`` is how many of the
+    sender's observed entries preceded the issue of send *order*. A
+    send therefore causally depends on exactly
+    ``observed[src][:dep_counts[order]]`` — program order inside a rank,
+    message edges across ranks — which is a sound dependency set: an
+    unwaited irecv never gates a send.
     """
 
     sends: List[RecordedSend]
@@ -65,6 +76,8 @@ class ScheduleResult:
     placement: Optional[object] = None
     issue_clock: Dict[int, int] = field(default_factory=dict)
     match_clock: Dict[int, int] = field(default_factory=dict)
+    observed: Dict[int, List[int]] = field(default_factory=dict)
+    dep_counts: Dict[int, int] = field(default_factory=dict)
 
     @property
     def transfers(self) -> int:
@@ -73,6 +86,12 @@ class ScheduleResult:
     @property
     def total_bytes(self) -> int:
         return sum(s.nbytes for s in self.sends)
+
+    def message_deps(self, order: int) -> Tuple[int, ...]:
+        """Send orders that happened-before send *order* at its sender
+        (messages the sender's program had consumed before issuing it)."""
+        src = self.sends[order].src
+        return tuple(self.observed.get(src, ())[: self.dep_counts.get(order, 0)])
 
     def transfers_by_level(self) -> Tuple[int, int]:
         """(intra_node, inter_node) transfer counts; needs a placement."""
@@ -134,6 +153,9 @@ class ScheduleExecutor:
         self.match_clock: Dict[int, int] = {}
         self._clock = 0
         self._env_order: Dict[int, int] = {}  # envelope seq -> send order
+        self.observed: Dict[int, List[int]] = {}  # rank -> consumed send orders
+        self.dep_counts: Dict[int, int] = {}  # send order -> observed prefix len
+        self._recv_order: Dict[Request, int] = {}  # recv request -> send order
         self.matching = [MatchingEngine(r) for r in range(nranks)]
         self.procs: List[Proc] = []
         self.contexts: List[RankContext] = []
@@ -147,6 +169,7 @@ class ScheduleExecutor:
             self.contexts.append(ctx)
             self.procs.append(Proc(f"rank{local}", program_factory(ctx)))
             self._wake[glob] = local
+            self.observed[glob] = []
 
     # -- driving ---------------------------------------------------------
     def run(self) -> ScheduleResult:
@@ -174,6 +197,8 @@ class ScheduleExecutor:
             placement=self.placement,
             issue_clock=self.issue_clock,
             match_clock=self.match_clock,
+            observed=self.observed,
+            dep_counts=self.dep_counts,
         )
 
     def _describe_blocked(self, idx: int) -> str:
@@ -235,21 +260,31 @@ class ScheduleExecutor:
             if isinstance(op, IrecvOp):
                 return req
             if req.complete:
+                self._observe(glob, req)
                 return req.status
+
+            def recv_done(r, i=idx, g=glob):
+                self._observe(g, r)
+                self._wakeup(i, r.status)
+
             self._parked[idx] = _ParkedRecv(req)
-            req.on_complete(lambda r, i=idx: self._wakeup(i, r.status))
+            req.on_complete(recv_done)
             return _BLOCKED
         if isinstance(op, WaitOp):
             requests = op.requests
             remaining = sum(1 for r in requests if not r.complete)
             if remaining == 0:
+                for r in requests:
+                    self._observe(glob, r)
                 return [r.status for r in requests]
             state = _ParkedWait(requests, remaining)
             self._parked[idx] = state
 
-            def one_done(_req, i=idx, state=state):
+            def one_done(_req, i=idx, g=glob, state=state):
                 state.remaining -= 1
                 if state.remaining == 0:
+                    for r in state.requests:
+                        self._observe(g, r)
                     self._wakeup(i, [r.status for r in state.requests])
 
             for r in requests:
@@ -263,6 +298,13 @@ class ScheduleExecutor:
     def _wakeup(self, idx: int, value) -> None:
         self._parked[idx] = None
         self._ready.append((idx, value))
+
+    def _observe(self, rank: int, req: Request) -> None:
+        """Record that *rank*'s program consumed the message behind a
+        completed receive (idempotent; sends and unmatched recvs no-op)."""
+        order = self._recv_order.pop(req, None)
+        if order is not None:
+            self.observed[rank].append(order)
 
     # -- transfer plumbing --------------------------------------------------
     def _do_send(self, req: Request) -> None:
@@ -280,6 +322,7 @@ class ScheduleExecutor:
             )
         )
         order = len(self.sends) - 1
+        self.dep_counts[order] = len(self.observed[req.owner])
         self.issue_clock[order] = self._clock
         self._clock += 1
         env = Envelope(req.owner, req.tag, req.nbytes, (req, payload), len(self.sends))
@@ -291,6 +334,7 @@ class ScheduleExecutor:
 
     def _complete_recv(self, recv_req: Request, env: Envelope) -> None:
         self.match_clock[self._env_order[env.seq]] = self._clock
+        self._recv_order[recv_req] = self._env_order[env.seq]
         self._clock += 1
         send_req, payload = env.send_req
         if env.nbytes > recv_req.nbytes:

@@ -151,6 +151,17 @@ class Machine:
         return self.spec.cpu_copy_bw * eff
 
     # -- queries -----------------------------------------------------------
+    def all_resources(self) -> Tuple[Resource, ...]:
+        """Every shared capacity of the machine, deterministically ordered:
+        per-rank copy engines, then per-used-node memory engines and NIC
+        pairs, then the topology's fabric resources. This is the link
+        universe the static cost model accumulates byte loads over."""
+        out = list(self.cpu)
+        for node in self.placement.used_nodes():
+            out.extend((self.mem[node], self.nic_out[node], self.nic_in[node]))
+        out.extend(self.topology.all_resources())
+        return tuple(out)
+
     def node_of(self, rank: int) -> int:
         return self.placement.node_of(rank)
 

@@ -29,6 +29,7 @@ class TrafficCounters:
     sent_by_rank: Dict[int, int] = field(default_factory=dict)
     received_by_rank: Dict[int, int] = field(default_factory=dict)
     bytes_sent_by_rank: Dict[int, int] = field(default_factory=dict)
+    bytes_received_by_rank: Dict[int, int] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, nbytes: int, intra: bool) -> None:
         """Count one launched transfer."""
@@ -43,6 +44,9 @@ class TrafficCounters:
         self.sent_by_rank[src] = self.sent_by_rank.get(src, 0) + 1
         self.received_by_rank[dst] = self.received_by_rank.get(dst, 0) + 1
         self.bytes_sent_by_rank[src] = self.bytes_sent_by_rank.get(src, 0) + nbytes
+        self.bytes_received_by_rank[dst] = (
+            self.bytes_received_by_rank.get(dst, 0) + nbytes
+        )
 
     def merge(self, other: "TrafficCounters") -> None:
         """Accumulate another tally (used when composing phases)."""
@@ -58,6 +62,10 @@ class TrafficCounters:
             self.received_by_rank[dst] = self.received_by_rank.get(dst, 0) + n
         for src, n in other.bytes_sent_by_rank.items():
             self.bytes_sent_by_rank[src] = self.bytes_sent_by_rank.get(src, 0) + n
+        for dst, n in other.bytes_received_by_rank.items():
+            self.bytes_received_by_rank[dst] = (
+                self.bytes_received_by_rank.get(dst, 0) + n
+            )
 
     def as_dict(self) -> dict:
         """Flat summary for reports."""

@@ -66,3 +66,59 @@ class TestCriticalPath:
         cp = critical_path(traced("scatter_ring_opt"))
         assert "hops" in cp.describe()
         assert "->" in cp.describe()
+
+
+def synthetic(spans, order=None):
+    """Build a Trace from (src, dst, tag, start, end) tuples, emitting
+    the records in *order* (a permutation of indices) if given."""
+    trace = Trace()
+    idx = list(order) if order is not None else list(range(len(spans)))
+    for i in idx:
+        src, dst, tag, start, _ = spans[i]
+        trace.emit(start, "send_launch", src=src, dst=dst, tag=tag, nbytes=64)
+    for i in idx:
+        src, dst, tag, _, end = spans[i]
+        trace.emit(end, "recv_complete", src=src, dst=dst, tag=tag, nbytes=64)
+    return trace
+
+
+class TestDeterministicTieBreaking:
+    # Three disjoint, simultaneous spans: any could end the "chain".
+    EQUAL = [(0, 1, 0, 0.0, 1.0), (2, 3, 0, 0.0, 1.0), (1, 2, 0, 0.0, 1.0)]
+    # D feeds E (shared rank 1); F independently ends at the same time
+    # with the same accumulated transfer weight.
+    CHAINED = [(0, 1, 0, 0.0, 1.0), (1, 2, 0, 1.0, 2.0), (3, 4, 0, 0.0, 2.0)]
+
+    @pytest.mark.parametrize(
+        "order", [(0, 1, 2), (2, 1, 0), (1, 2, 0), (2, 0, 1)]
+    )
+    def test_equal_spans_pick_lowest_endpoint(self, order):
+        cp = critical_path(synthetic(self.EQUAL, order))
+        assert cp.hops == 1
+        span = cp.spans[0]
+        assert (span.src, span.dst) == (0, 1)
+
+    @pytest.mark.parametrize(
+        "order", [(0, 1, 2), (2, 1, 0), (1, 0, 2), (2, 0, 1)]
+    )
+    def test_equal_end_prefers_heavier_then_lowest_key(self, order):
+        cp = critical_path(synthetic(self.CHAINED, order))
+        assert cp.hops == 2
+        assert [(s.src, s.dst) for s in cp.spans] == [(0, 1), (1, 2)]
+
+    def test_same_chain_for_every_emission_order(self):
+        import itertools
+
+        chains = set()
+        for order in itertools.permutations(range(3)):
+            cp = critical_path(synthetic(self.EQUAL, order))
+            chains.add(tuple((s.src, s.dst, s.tag) for s in cp.spans))
+        assert len(chains) == 1
+
+    def test_tag_breaks_final_tie(self):
+        # Identical endpoints and times, distinct tags: the lowest tag
+        # must win regardless of emission order.
+        spans = [(0, 1, 5, 0.0, 1.0), (0, 1, 3, 0.0, 1.0)]
+        for order in [(0, 1), (1, 0)]:
+            cp = critical_path(synthetic(spans, order))
+            assert cp.spans[0].tag == 3

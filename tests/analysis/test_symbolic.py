@@ -1,0 +1,113 @@
+"""Tests for the symbolic all-P savings closed forms."""
+
+import pytest
+
+from repro.analysis import symbolic
+from repro.analysis.verify import REGISTRY
+from repro.collectives import extract_schedule, subtree_chunks
+from repro.core.traffic import (
+    ring_bytes_native,
+    ring_bytes_tuned,
+    ring_transfers_native,
+    ring_transfers_tuned,
+)
+from repro.errors import CollectiveError
+
+
+class TestRecurrence:
+    def test_paper_instances(self):
+        assert symbolic.subtree_sum(8) == 20
+        assert symbolic.subtree_sum(10) == 25
+        assert symbolic.savings(8) == 12
+        assert symbolic.savings(10) == 15
+
+    def test_matches_direct_enumeration(self):
+        for P in range(1, 129):
+            assert symbolic.subtree_sum(P) == sum(
+                subtree_chunks(r, P) for r in range(P)
+            )
+
+    def test_extents_match_branch_mask_derivation(self):
+        for P in range(1, 65):
+            assert symbolic.subtree_extents(P) == [
+                subtree_chunks(r, P) for r in range(P)
+            ]
+
+    def test_pof2_closed_form(self):
+        # S(2^k) = 2^k + k * 2^(k-1): each of the k binomial levels
+        # contributes half the ranks' worth of extent.
+        for k in range(1, 8):
+            P = 1 << k
+            assert symbolic.subtree_sum(P) == P + k * (P // 2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CollectiveError):
+            symbolic.subtree_sum(0)
+        with pytest.raises(CollectiveError):
+            symbolic.savings(-1)
+
+
+class TestTransferCounts:
+    def test_matches_role_based_derivation(self):
+        # core.traffic derives the same counts from per-rank ring roles —
+        # an entirely independent code path.
+        for P in range(1, 41):
+            assert symbolic.ring_transfers_native(P) == ring_transfers_native(P)
+            assert symbolic.ring_transfers_tuned(P) == ring_transfers_tuned(P)
+
+    def test_paper_table(self):
+        assert symbolic.ring_transfers_native(8) == 56
+        assert symbolic.ring_transfers_tuned(8) == 44
+        assert symbolic.ring_transfers_native(10) == 90
+        assert symbolic.ring_transfers_tuned(10) == 75
+
+
+class TestByteTotals:
+    @pytest.mark.parametrize("P", [2, 3, 5, 8, 10, 16, 17])
+    @pytest.mark.parametrize("nbytes", [1, 1000, 65536, 1 << 20])
+    def test_tuned_plus_saved_is_native(self, P, nbytes):
+        assert symbolic.ring_bytes_tuned(P, nbytes) + symbolic.ring_bytes_saved(
+            P, nbytes
+        ) == symbolic.ring_bytes_native(P, nbytes)
+
+    @pytest.mark.parametrize("P", [2, 4, 7, 8, 10, 13])
+    @pytest.mark.parametrize("nbytes", [4096, 65536, 1000003])
+    def test_matches_role_based_bytes(self, P, nbytes):
+        assert symbolic.ring_bytes_native(P, nbytes) == ring_bytes_native(P, nbytes)
+        assert symbolic.ring_bytes_tuned(P, nbytes) == ring_bytes_tuned(P, nbytes)
+
+    @pytest.mark.parametrize("P", [2, 3, 8, 10, 12])
+    def test_bcast_bytes_match_extracted_schedules(self, P):
+        nbytes = 1 << 20
+        for name, tuned in (("bcast_native", False), ("bcast_opt", True)):
+            schedule = extract_schedule(P, REGISTRY[name].build(P, nbytes, 0))
+            assert schedule.total_bytes == symbolic.bcast_bytes(P, nbytes, tuned)
+
+    @pytest.mark.parametrize("P", [2, 5, 8, 10])
+    def test_scatter_bytes_match_extracted_schedule(self, P):
+        nbytes = 1 << 20
+        schedule = extract_schedule(P, REGISTRY["scatter"].build(P, nbytes, 0))
+        assert schedule.total_bytes == symbolic.scatter_bytes(P, nbytes)
+
+    def test_single_rank_is_free(self):
+        assert symbolic.bcast_bytes(1, 1 << 20, tuned=True) == 0
+        assert symbolic.scatter_bytes(1, 1 << 20) == 0
+
+
+class TestProofs:
+    def test_proof_holds_for_paper_cases(self):
+        for P, (saved, native, tuned) in symbolic.PAPER_CASES.items():
+            proof = symbolic.prove_savings(P)
+            assert proof.ok
+            assert proof.savings == saved
+            assert proof.native_transfers == native
+            assert proof.tuned_transfers == tuned
+            assert "OK" in proof.describe()
+
+    def test_range_proof_is_clean(self):
+        assert symbolic.prove_savings_range(2, 64) == []
+
+    def test_range_proof_detects_wrong_pin(self):
+        failures = symbolic.prove_savings_range(2, 16, pins={8: 13})
+        assert len(failures) == 1
+        assert "13" in failures[0]

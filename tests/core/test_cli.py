@@ -232,3 +232,122 @@ class TestLintCommand:
         rc = main(["lint", str(f)])
         out = capsys.readouterr().out
         assert rc == 1 and "wall-clock" in out
+
+
+class TestCostCommand:
+    def test_table_output(self, capsys):
+        rc = main(["cost", "--collective", "bcast_opt", "--nranks", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bcast_opt" in out and "t_bound" in out
+
+    def test_all_collectives_table(self, capsys):
+        rc = main(["cost", "--nranks", "8", "--nbytes", "64KiB"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bcast_native" in out and "allgather_ring" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(
+            ["cost", "--collective", "bcast_native", "--nranks", "8", "--json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data[0]["collective"] == "bcast_native"
+        assert data[0]["transfers"] == 63
+        assert data[0]["t_bound"] > 0
+
+    def test_grid_strict_passes(self, capsys):
+        rc = main(["cost", "--grid", "--strict"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict: OK" in out
+
+    def test_grid_json(self, capsys):
+        import json
+
+        rc = main(["cost", "--grid", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data["ok"] is True
+        assert data["counts"]["symbolic"]["passed"] >= 1
+
+    def test_unknown_collective_exits_two(self, capsys):
+        rc = main(["cost", "--collective", "nope", "--nranks", "8"])
+        assert rc == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_basic_output(self, capsys):
+        rc = main(["trace", "--collective", "bcast_opt", "--nranks", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "makespan" in out and "ring" in out
+
+    def test_critical_path_flag(self, capsys):
+        rc = main(
+            [
+                "trace",
+                "--collective",
+                "bcast_opt",
+                "--nranks",
+                "8",
+                "--critical-path",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "critical path:" in out and "hops" in out
+
+    def test_chrome_export(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        rc = main(
+            [
+                "trace",
+                "--collective",
+                "barrier",
+                "--nranks",
+                "4",
+                "--chrome",
+                str(target),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0 and str(target) in out
+        data = json.loads(target.read_text())
+        assert data["traceEvents"]
+
+    def test_unknown_collective_exits_two(self, capsys):
+        rc = main(["trace", "--collective", "nope"])
+        assert rc == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+
+class TestVerifyCostPass:
+    def test_cost_pass_reported(self, capsys):
+        rc = main(["verify", "--collective", "bcast_opt", "--nranks", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cost-model consistency pass" in out and "OK" in out
+
+    def test_no_cost_suppresses_pass(self, capsys):
+        rc = main(
+            ["verify", "--collective", "bcast_opt", "--nranks", "8", "--no-cost"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cost-model" not in out
+
+    def test_json_schema_unchanged_by_cost_pass(self, capsys):
+        import json
+
+        rc = main(["verify", "--collective", "bcast_opt", "--nranks", "8", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert isinstance(data, list)
+        assert "redundant_count" in data[0]
