@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Chaos recovery: broadcasts on a lossy fabric, bit-for-bit intact.
+
+The simulator's other gates assume a perfect network. This example
+turns that assumption off: a seeded fault plan drops, duplicates and
+corrupts messages while the tuned scatter-ring broadcast runs on the
+ARQ reliable transport (sequence numbers, ACKs, timeout + backoff
+retransmit). Three views:
+
+1. recovery telemetry as the drop rate climbs — retransmissions and
+   timeouts grow, yet every run stays correct;
+2. the chaos differential gate on one collective: payloads compared
+   bit-for-bit against a fault-free reference run, wire counters
+   required to match exactly when nothing was actually lost;
+3. graceful degradation: with a crashed rank the selector abandons the
+   ring (which serialises through every rank) for the binomial tree,
+   and a run that cannot reach a dead peer fails with a *typed* error
+   naming the dead link instead of hanging.
+
+Run:  python examples/chaos_recovery.py
+"""
+
+from repro.analysis.chaos import default_plans, run_chaos_point
+from repro.collectives.selector import LONG_MSG_SIZE, choose_bcast_name
+from repro.core import simulate_bcast
+from repro.errors import TransportExhaustedError
+from repro.machine import ideal
+from repro.sim import FaultPlan
+from repro.util import Table, format_size
+
+P, NBYTES = 8, 1 << 14
+
+
+def recovery_telemetry() -> None:
+    print(
+        f"1. tuned ring broadcast of {format_size(NBYTES)} across {P} ranks "
+        "on an increasingly lossy fabric\n"
+    )
+    table = Table(
+        ["drop rate", "time (us)", "drops", "retrans", "timeouts", "ACKs"],
+        formats=[None, ".1f", None, None, None, None],
+    )
+    for drop_p in (0.0, 0.05, 0.1, 0.2, 0.3):
+        plan = FaultPlan.uniform(seed=1, drop_p=drop_p, name=f"drop{drop_p:g}")
+        rec = simulate_bcast(
+            ideal(), P, NBYTES, algorithm="scatter_ring_opt", faults=plan
+        )
+        table.add_row(
+            f"{drop_p:.0%}",
+            rec.time * 1e6,
+            rec.drops_injected,
+            rec.retrans_messages,
+            rec.timeouts,
+            rec.ack_messages,
+        )
+    print(table)
+    print(
+        "every row delivered the same bytes — loss costs time, never "
+        "correctness\n"
+    )
+
+
+def differential_gate() -> None:
+    print("2. chaos differential gate: bcast_opt vs a fault-free reference\n")
+    table = Table(["plan", "verdict", "drops", "retrans", "detail"])
+    for plan in default_plans(seed=0):
+        check = run_chaos_point("bcast_opt", P, plan, nbytes=NBYTES)
+        table.add_row(
+            plan.name,
+            check.status.upper(),
+            check.drops,
+            check.retrans,
+            check.detail[:48] or "payloads bit-identical",
+        )
+    print(table)
+    print(
+        "'EXHAUSTED' is the crash plan: the retry budget ends in a typed "
+        "error, not a hang\n"
+    )
+
+
+def degradation() -> None:
+    print("3. graceful degradation when rank 1 is dead\n")
+    crash = FaultPlan.none(seed=0, name="crash").with_crash(1)
+    clean_pick = choose_bcast_name(LONG_MSG_SIZE, P, tuned=True)
+    crash_pick = choose_bcast_name(LONG_MSG_SIZE, P, tuned=True, faults=crash)
+    print(f"  selector, healthy fabric : {clean_pick}")
+    print(f"  selector, rank 1 crashed : {crash_pick} (ring avoided)")
+    try:
+        simulate_bcast(
+            ideal(), P, NBYTES, algorithm="scatter_ring_opt", faults=crash
+        )
+    except TransportExhaustedError as exc:
+        print(f"  forcing the ring anyway  : {exc}")
+
+
+def main() -> None:
+    recovery_telemetry()
+    differential_gate()
+    degradation()
+
+
+if __name__ == "__main__":
+    main()

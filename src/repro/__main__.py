@@ -12,6 +12,10 @@ Commands cover the common workflows without writing a script:
   plus a cost-model consistency pass (``--no-cost`` to skip);
 * ``cost``    — static α-β/LogGP cost table per collective; ``--grid``
   runs the full sim-differential gate (``--strict`` for nonzero exit);
+* ``chaos``   — fault-injection differential gate: collectives run on
+  the reliable (ARQ) transport under seeded fault plans and must
+  deliver bit-identical payloads or fail with a typed dead-link error;
+  ``--grid`` covers the whole registry (``--strict`` for nonzero exit);
 * ``trace``   — simulate one collective with tracing and report the
   critical path (``--critical-path``) or export a Chrome trace
   (``--chrome out.json``);
@@ -32,6 +36,9 @@ Examples::
     python -m repro verify --nranks 2,5,8,10,16 --json
     python -m repro cost --nranks 8 --nbytes 1MiB
     python -m repro cost --grid --strict
+    python -m repro chaos --grid --strict
+    python -m repro chaos --collective bcast_opt --nranks 8 --seed 7
+    python -m repro compare --fault-drop 0.1 --chaos-stats
     python -m repro trace --collective bcast_opt --nranks 8 --critical-path
     python -m repro lint
     python -m repro cache --clear
@@ -98,13 +105,84 @@ def _solver_stats_table(records) -> Table:
     return table
 
 
+def _chaos_stats_table(records) -> Table:
+    """Reliable-transport telemetry rows for a set of RunRecords."""
+    table = Table(
+        ["algorithm", "P", "drops", "retrans", "retrans B", "ACKs",
+         "ACK B", "timeouts"],
+        title="chaos telemetry (injected faults / ARQ recovery traffic)",
+    )
+    for rec in records:
+        table.add_row(
+            rec.algorithm,
+            rec.nranks,
+            rec.drops_injected,
+            rec.retrans_messages,
+            rec.retrans_bytes,
+            rec.ack_messages,
+            rec.ack_bytes,
+            rec.timeouts,
+        )
+    return table
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault-drop",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-message drop probability (enables the reliable transport)",
+    )
+    p.add_argument(
+        "--fault-dup",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-message duplication probability",
+    )
+    p.add_argument(
+        "--fault-corrupt",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-message corruption probability",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="fault-plan seed (default: 0)",
+    )
+
+
+def _faults(args):
+    from .sim import FaultPlan
+
+    if not (args.fault_drop or args.fault_dup or args.fault_corrupt):
+        return None
+    return FaultPlan.uniform(
+        seed=args.fault_seed,
+        drop_p=args.fault_drop,
+        dup_p=args.fault_dup,
+        corrupt_p=args.fault_corrupt,
+        name="cli",
+    )
+
+
 def cmd_compare(args) -> int:
     cmp = compare_bcast(
-        _spec(args), nranks=args.nranks, nbytes=args.nbytes, placement=args.placement
+        _spec(args),
+        nranks=args.nranks,
+        nbytes=args.nbytes,
+        placement=args.placement,
+        faults=_faults(args),
     )
     print(cmp.describe())
     if args.solver_stats:
         print(_solver_stats_table([cmp.native, cmp.opt]))
+    if args.chaos_stats:
+        print(_chaos_stats_table([cmp.native, cmp.opt]))
     return 0
 
 
@@ -139,6 +217,7 @@ def cmd_sweep(args) -> int:
         ranks=[args.nranks],
         algorithms=["scatter_ring_native", "scatter_ring_opt"],
         placement=args.placement,
+        faults=_faults(args),
     )
     cache = _exec_cache(args)
     records = sweep.run(jobs=args.jobs, cache=cache)
@@ -152,6 +231,8 @@ def cmd_sweep(args) -> int:
     )
     if args.solver_stats:
         print(_solver_stats_table(records))
+    if args.chaos_stats:
+        print(_chaos_stats_table(records))
     if cache is not None:
         print(cache.stats().describe())
     return 0
@@ -428,6 +509,62 @@ def cmd_cost(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json as _json
+
+    from .analysis.chaos import DEFAULT_RANKS, chaos_gate
+    from .analysis.verify import REGISTRY
+    from .util import parse_size
+
+    # Like ``cost --grid``, the gate's reference-equality guarantees are
+    # calibrated against the contention-free ideal preset.
+    if args.machine is None:
+        args.machine = "ideal"
+    spec = _spec(args)
+    if args.grid:
+        collectives = None
+        ranks = DEFAULT_RANKS
+    else:
+        if args.collective not in REGISTRY:
+            print(
+                f"error: unknown collective {args.collective!r}; "
+                f"known: {sorted(REGISTRY)}",
+                file=sys.stderr,
+            )
+            return 2
+        collectives = [args.collective]
+        ranks = [args.nranks]
+    report = chaos_gate(
+        seed=args.seed,
+        spec=spec,
+        collectives=collectives,
+        ranks=ranks,
+        nbytes=parse_size(args.nbytes),
+        progress=None,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+        return (1 if not report.ok else 0) if args.strict else 0
+    table = Table(
+        ["collective", "P", "plan", "status", "drops", "retrans",
+         "timeouts", "ACKs"],
+        title=(
+            f"chaos differential gate: seed={report.seed}, "
+            f"nbytes={report.nbytes} on {report.machine}"
+        ),
+    )
+    for c in report.checks:
+        table.add_row(
+            c.collective, c.nranks, c.plan, c.status.upper(),
+            c.drops, c.retrans, c.timeouts, c.acks,
+        )
+    print(table)
+    for c in report.failures:
+        print(f"  FAIL {c.collective} P={c.nranks} plan={c.plan}: {c.detail}")
+    print(report.describe().splitlines()[-1])
+    return (1 if not report.ok else 0) if args.strict else 0
+
+
 def cmd_trace(args) -> int:
     from .analysis import critical_path, phase_summary, write_chrome_trace
     from .analysis.verify import REGISTRY
@@ -506,6 +643,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print fluid-solver telemetry after the results",
     )
+    _add_fault_args(p)
+    p.add_argument(
+        "--chaos-stats",
+        action="store_true",
+        help="print fault-injection/ARQ telemetry after the results",
+    )
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="bandwidth table over message sizes")
@@ -519,6 +662,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver-stats",
         action="store_true",
         help="print fluid-solver telemetry after the results",
+    )
+    _add_fault_args(p)
+    p.add_argument(
+        "--chaos-stats",
+        action="store_true",
+        help="print fault-injection/ARQ telemetry after the results",
     )
     p.set_defaults(func=cmd_sweep)
 
@@ -620,6 +769,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
     p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection differential gate on the reliable transport",
+    )
+    p.add_argument(
+        "--machine",
+        choices=sorted(_PRESETS),
+        default=None,
+        help="machine preset (default: ideal)",
+    )
+    p.add_argument("--nodes", type=int, default=0, help="override node count")
+    p.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    p.add_argument(
+        "--collective",
+        default="bcast_opt",
+        help="registry name for single-point mode (default: bcast_opt)",
+    )
+    p.add_argument("--nranks", type=int, default=8, help="process count (default: 8)")
+    p.add_argument(
+        "--nbytes", default="4KiB", help="message size (default: 4KiB)"
+    )
+    p.add_argument(
+        "--grid",
+        action="store_true",
+        help="run every registry collective at the default rank grid",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any chaos check fails",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "trace",

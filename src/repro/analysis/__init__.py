@@ -29,6 +29,13 @@ from .costmodel import (
     analyze_schedule,
     differential_gate,
 )
+from .chaos import (
+    ChaosCheck,
+    ChaosReport,
+    chaos_gate,
+    default_plans,
+    run_chaos_point,
+)
 from .lint import LintViolation, lint_paths, lint_source
 from .symbolic import (
     SavingsProof,
@@ -75,6 +82,11 @@ __all__ = [
     "analyze_collective",
     "analyze_schedule",
     "differential_gate",
+    "ChaosCheck",
+    "ChaosReport",
+    "chaos_gate",
+    "default_plans",
+    "run_chaos_point",
     "LintViolation",
     "lint_paths",
     "lint_source",

@@ -50,19 +50,32 @@ def classify_message(nbytes: int) -> str:
     return "long"
 
 
-def choose_bcast_name(nbytes: int, size: int, tuned: bool = False) -> str:
+def choose_bcast_name(nbytes: int, size: int, tuned: bool = False, faults=None) -> str:
     """Registry name of the algorithm MPICH3 would pick.
 
     ``tuned=True`` swaps the ring rows for the paper's optimised ring.
+    ``faults`` (a :class:`~repro.sim.faults.FaultPlan`) enables graceful
+    degradation: both ring allgathers thread a dependency through every
+    rank, so one crashed rank wedges the whole ring — whenever the plan
+    marks any rank crashed, the ring rows fall back to the binomial
+    tree, which only loses the subtree below the dead rank.
     """
     if size < 1:
         raise CollectiveError(f"communicator size must be >= 1, got {size}")
     cls = classify_message(nbytes)
     if cls == "short" or size < MIN_PROCS:
+        name = "binomial"
+    elif cls == "medium" and is_power_of_two(size):
+        name = "scatter_rdbl"
+    else:
+        name = "scatter_ring_opt" if tuned else "scatter_ring_native"
+    if (
+        faults is not None
+        and name.startswith("scatter_ring")
+        and faults.crashed_ranks()
+    ):
         return "binomial"
-    if cls == "medium" and is_power_of_two(size):
-        return "scatter_rdbl"
-    return "scatter_ring_opt" if tuned else "scatter_ring_native"
+    return name
 
 
 def is_ring_regime(nbytes: int, size: int) -> bool:
@@ -70,8 +83,8 @@ def is_ring_regime(nbytes: int, size: int) -> bool:
     return choose_bcast_name(nbytes, size).startswith("scatter_ring")
 
 
-def choose_bcast(nbytes: int, size: int, tuned: bool = False):
+def choose_bcast(nbytes: int, size: int, tuned: bool = False, faults=None):
     """The selected algorithm as a callable ``(ctx, nbytes, root)``."""
     from .bcast import get_algorithm
 
-    return get_algorithm(choose_bcast_name(nbytes, size, tuned))
+    return get_algorithm(choose_bcast_name(nbytes, size, tuned, faults=faults))

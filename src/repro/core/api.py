@@ -29,6 +29,7 @@ from ..errors import ConfigurationError
 from ..machine import Machine, MachineSpec
 from ..mpi import Job, RealBuffer
 from ..sim import Trace
+from ..sim.faults import FaultPlan
 from ..util import parse_size
 from .report import ComparisonRecord, RunRecord
 
@@ -60,12 +61,19 @@ def _make_machine(spec_or_machine, nranks: int, placement) -> Machine:
     )
 
 
-def _resolve_algorithm(name: str, nbytes: int, nranks: int, machine: Machine):
-    """Map an ``algorithm=`` argument to a program-producing callable."""
+def _resolve_algorithm(
+    name: str, nbytes: int, nranks: int, machine: Machine, faults=None
+):
+    """Map an ``algorithm=`` argument to a program-producing callable.
+
+    ``faults`` only affects the ``auto``/``auto_tuned`` rows: the
+    selector degrades the ring regime to the binomial tree when the plan
+    has a crashed rank (an explicit algorithm name is always honoured).
+    """
     if name == "auto":
-        name = choose_bcast_name(nbytes, nranks, tuned=False)
+        name = choose_bcast_name(nbytes, nranks, tuned=False, faults=faults)
     elif name == "auto_tuned":
-        name = choose_bcast_name(nbytes, nranks, tuned=True)
+        name = choose_bcast_name(nbytes, nranks, tuned=True, faults=faults)
     if name in ("smp", "smp_opt"):
         inner = get_algorithm(
             "scatter_ring_opt" if name == "smp_opt" else "scatter_ring_native"
@@ -107,6 +115,8 @@ def simulate_bcast(
     validate: bool = False,
     trace: Optional[Trace] = None,
     iterations: int = 1,
+    faults: Optional[FaultPlan] = None,
+    reliable=None,
 ) -> RunRecord:
     """Simulate one broadcast and return its :class:`RunRecord`.
 
@@ -120,12 +130,23 @@ def simulate_bcast(
     reported ``time`` is then the per-iteration average and message
     counts are per iteration (barrier tokens excluded from bytes but
     counted as messages / iterations rounding down).
+
+    ``faults`` attaches a :class:`~repro.sim.faults.FaultPlan`;
+    ``reliable`` opts into the ARQ transport (``True`` or a
+    :class:`~repro.mpi.reliable.ReliableConfig`). When ``reliable`` is
+    left ``None`` it defaults to on exactly when a non-zero fault plan
+    is given — injecting faults without a recovery protocol is a recipe
+    for a deadlock, which stays available explicitly via
+    ``reliable=False``. Chaos telemetry lands in the record as
+    whole-run totals (not divided by ``iterations``).
     """
     if iterations < 1:
         raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+    if reliable is None:
+        reliable = faults is not None and not faults.is_zero
     size = parse_size(nbytes)
     machine = _make_machine(spec_or_machine, nranks, placement)
-    label, algo = _resolve_algorithm(algorithm, size, nranks, machine)
+    label, algo = _resolve_algorithm(algorithm, size, nranks, machine, faults=faults)
 
     fill = 0xA5
     buffers = None
@@ -146,7 +167,13 @@ def simulate_bcast(
         return program()
 
     result = Job(
-        machine, factory, buffers=buffers, trace=trace, working_set=size
+        machine,
+        factory,
+        buffers=buffers,
+        trace=trace,
+        working_set=size,
+        faults=faults,
+        reliable=reliable,
     ).run()
 
     if validate:
@@ -168,6 +195,12 @@ def simulate_bcast(
         intra_messages=c.intra_messages // iterations,
         inter_messages=c.inter_messages // iterations,
         machine=machine.spec.name,
+        drops_injected=c.drops_injected,
+        retrans_messages=c.retrans_messages,
+        retrans_bytes=c.retrans_bytes,
+        ack_messages=c.ack_messages,
+        ack_bytes=c.ack_bytes,
+        timeouts=c.timeouts,
         **_solver_fields(result.solver_stats),
     )
 
@@ -180,18 +213,23 @@ def compare_bcast(
     placement="blocked",
     native: str = "scatter_ring_native",
     opt: str = "scatter_ring_opt",
+    faults: Optional[FaultPlan] = None,
+    reliable=None,
 ) -> ComparisonRecord:
     """Run the native and tuned designs at one point (paper-style A/B).
 
     Fresh machines are built per run so no fluid-resource state leaks
-    between the two measurements.
+    between the two measurements. ``faults``/``reliable`` apply to both
+    runs (see :func:`simulate_bcast`).
     """
     size = parse_size(nbytes)
     rec_native = simulate_bcast(
-        spec, nranks, size, algorithm=native, root=root, placement=placement
+        spec, nranks, size, algorithm=native, root=root, placement=placement,
+        faults=faults, reliable=reliable,
     )
     rec_opt = simulate_bcast(
-        spec, nranks, size, algorithm=opt, root=root, placement=placement
+        spec, nranks, size, algorithm=opt, root=root, placement=placement,
+        faults=faults, reliable=reliable,
     )
     return ComparisonRecord(nranks=nranks, nbytes=size, native=rec_native, opt=rec_opt)
 

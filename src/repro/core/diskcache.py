@@ -37,7 +37,7 @@ __all__ = ["DiskCache", "CacheStats", "cache_key", "default_cache_dir", "CACHE_V
 
 # Code-version salt folded into every key. Bump on any change that
 # alters simulated results (engine semantics, fluid model, algorithms).
-CACHE_VERSION = "2026.08.05.1"
+CACHE_VERSION = "2026.08.05.2"
 
 _CACHE_FILENAME = "sweep-records.jsonl"
 
@@ -62,13 +62,18 @@ def cache_key(
     root: int = 0,
     placement="blocked",
     salt: str = CACHE_VERSION,
+    faults=None,
+    reliable=None,
 ) -> str:
     """Content hash identifying one simulated point.
 
     ``point`` is anything with ``algorithm``/``nranks``/``nbytes``
     attributes (a :class:`~repro.core.sweep.SweepPoint`). Placement
     policies are keyed by ``str()`` so explicit rank lists and named
-    policies both participate.
+    policies both participate. ``faults`` (a
+    :class:`~repro.sim.faults.FaultPlan`) enters via its content digest
+    and ``reliable`` via its repr, so chaos records never collide with
+    clean-run entries for the same point.
     """
     payload = {
         "spec": dataclasses.asdict(spec),
@@ -78,6 +83,8 @@ def cache_key(
         # Both solvers produce bitwise-identical times, but the cached
         # record carries mode-specific telemetry, so key on the mode.
         "solver": solver_mode(),
+        "faults": faults.digest() if faults is not None else "",
+        "reliable": repr(reliable) if reliable else "",
         "salt": salt,
     }
     blob = json.dumps(payload, sort_keys=True, default=str, separators=(",", ":"))

@@ -56,7 +56,7 @@ def _simulate_point(task):
     failures cross the process boundary even when the original exception
     type does not pickle.
     """
-    spec, point, root, placement = task
+    spec, point, root, placement, faults, reliable = task
     try:
         rec = simulate_bcast(
             spec,
@@ -65,6 +65,8 @@ def _simulate_point(task):
             algorithm=point.algorithm,
             root=root,
             placement=placement,
+            faults=faults,
+            reliable=reliable,
         )
         return ("ok", rec)
     except Exception as exc:  # noqa: BLE001 - serialised and re-raised in parent
@@ -116,10 +118,14 @@ class SweepExecutor:
         root: int = 0,
         placement="blocked",
         progress: Optional[Callable] = None,
+        faults=None,
+        reliable=None,
     ) -> List[RunRecord]:
         """Simulate every point; results align index-for-index with
         *points*. ``progress(point)`` fires once per point (cache hits
-        included) in point order, before any simulation output is used."""
+        included) in point order, before any simulation output is used.
+        ``faults``/``reliable`` apply to every point and participate in
+        the cache key (a chaos run never collides with a clean one)."""
         points = list(points)
         results: List[Optional[RunRecord]] = [None] * len(points)
 
@@ -130,13 +136,20 @@ class SweepExecutor:
             if progress is not None:
                 progress(point)
             if self.cache is not None:
-                keys[i] = cache_key(spec, point, root=root, placement=placement)
+                keys[i] = cache_key(
+                    spec,
+                    point,
+                    root=root,
+                    placement=placement,
+                    faults=faults,
+                    reliable=reliable,
+                )
                 results[i] = self.cache.get(keys[i])
             if results[i] is None:
                 cold.append(i)
 
         # Simulate the cold points, serially or fanned out.
-        tasks = [(spec, points[i], root, placement) for i in cold]
+        tasks = [(spec, points[i], root, placement, faults, reliable) for i in cold]
         if self.jobs == 1 or len(cold) <= 1:
             fresh = [
                 self._unwrap(_simulate_point(task), points[i])

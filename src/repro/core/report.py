@@ -36,6 +36,24 @@ class RunRecord:
     solver_max_component: int = 0
     solver_flows_advanced: int = 0
     solver_time_s: float = field(default=0.0, compare=False)
+    # Chaos / reliability telemetry (docs/robustness.md): whole-run
+    # totals, all zero for fault-free runs on the plain transport.
+    drops_injected: int = 0
+    retrans_messages: int = 0
+    retrans_bytes: int = 0
+    ack_messages: int = 0
+    ack_bytes: int = 0
+    timeouts: int = 0
+
+    @property
+    def has_chaos(self) -> bool:
+        """True when faults were injected or recovery traffic flowed."""
+        return bool(
+            self.drops_injected
+            or self.retrans_messages
+            or self.ack_messages
+            or self.timeouts
+        )
 
     @property
     def bandwidth(self) -> float:

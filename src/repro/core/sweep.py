@@ -45,13 +45,20 @@ class Sweep:
         algorithms: Iterable[str],
         root: int = 0,
         placement="blocked",
+        faults=None,
+        reliable=None,
     ):
+        """``faults``/``reliable`` apply to every point (see
+        :func:`~repro.core.api.simulate_bcast`) — a chaos sweep is the
+        same grid with a :class:`~repro.sim.faults.FaultPlan` attached."""
         self.spec = spec
         self.sizes = [parse_size(s) for s in sizes]
         self.ranks = list(ranks)
         self.algorithms = list(algorithms)
         self.root = root
         self.placement = placement
+        self.faults = faults
+        self.reliable = reliable
         if not self.sizes or not self.ranks or not self.algorithms:
             raise ConfigurationError("sweep needs sizes, ranks and algorithms")
         self._cache: Dict[SweepPoint, RunRecord] = {}
@@ -75,6 +82,8 @@ class Sweep:
                 algorithm=point.algorithm,
                 root=self.root,
                 placement=self.placement,
+                faults=self.faults,
+                reliable=self.reliable,
             )
             self._cache[point] = rec
         return rec
@@ -107,6 +116,8 @@ class Sweep:
                 root=self.root,
                 placement=self.placement,
                 progress=progress,
+                faults=self.faults,
+                reliable=self.reliable,
             )
             for point, rec in zip(todo, records):
                 self._cache[point] = rec
@@ -155,6 +166,13 @@ class Sweep:
         "solver_solves",
         "solver_rounds",
         "solver_time_s",
+        # chaos / reliability telemetry (appended for the same reason;
+        # all zero unless the sweep carries a fault plan)
+        "retrans_messages",
+        "retrans_bytes",
+        "ack_messages",
+        "ack_bytes",
+        "timeouts",
     )
 
     def to_csv(self, target=None, jobs: Optional[int] = 1, cache=None) -> str:
@@ -183,6 +201,11 @@ class Sweep:
                         rec.solver_rounds,
                         # host wall time: informational, not reproducible
                         f"{rec.solver_time_s:.3e}",
+                        rec.retrans_messages,
+                        rec.retrans_bytes,
+                        rec.ack_messages,
+                        rec.ack_bytes,
+                        rec.timeouts,
                     )
                 )
             )

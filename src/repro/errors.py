@@ -17,6 +17,7 @@ __all__ = [
     "MpiError",
     "MatchingError",
     "TruncationError",
+    "TransportExhaustedError",
     "CollectiveError",
     "ConfigurationError",
     "SweepExecutionError",
@@ -70,6 +71,38 @@ class TruncationError(MpiError):
     Real MPI flags this as ``MPI_ERR_TRUNCATE``; we fail loudly because a
     truncated transfer in a collective schedule is always a bug.
     """
+
+
+class TransportExhaustedError(MpiError):
+    """The reliability layer gave up on a link.
+
+    Raised when a message exhausts its retransmission budget — every
+    attempt (and its ACK) was lost. Names the dead link so chaos runs
+    fail with an actionable diagnosis instead of a generic deadlock.
+    """
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        attempts: int,
+        nbytes: int = 0,
+        cause: str = "",
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.attempts = attempts
+        self.nbytes = nbytes
+        self.cause = cause
+        detail = (
+            f"link {src}->{dst} presumed dead: message tag={tag} "
+            f"({nbytes} bytes) undeliverable after {attempts} attempt(s)"
+        )
+        if cause:
+            detail += f"; last loss: {cause}"
+        super().__init__(detail)
 
 
 class CollectiveError(ReproError):

@@ -29,6 +29,7 @@ from .counters import TrafficCounters
 from .comm import Communicator
 from .context import RankContext
 from .transport import Transport
+from .reliable import ACK_TAG, ReliableConfig, ReliableTransport
 from .runtime import Job, JobResult
 
 __all__ = [
@@ -61,6 +62,9 @@ __all__ = [
     "Communicator",
     "RankContext",
     "Transport",
+    "ACK_TAG",
+    "ReliableConfig",
+    "ReliableTransport",
     "Job",
     "JobResult",
 ]

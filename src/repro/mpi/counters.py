@@ -30,6 +30,34 @@ class TrafficCounters:
     received_by_rank: Dict[int, int] = field(default_factory=dict)
     bytes_sent_by_rank: Dict[int, int] = field(default_factory=dict)
     bytes_received_by_rank: Dict[int, int] = field(default_factory=dict)
+    # -- chaos / reliability accounting (docs/robustness.md) -------------
+    # Injected by a FaultPlan:
+    drops_injected: int = 0
+    dup_injected: int = 0
+    corrupt_injected: int = 0
+    # Spent by the reliability layer recovering from the above. None of
+    # these feed ``messages``/``bytes``: with zero retransmissions the
+    # wire counters stay bitwise-identical to a fault-free run.
+    retrans_messages: int = 0
+    retrans_bytes: int = 0
+    ack_messages: int = 0
+    ack_bytes: int = 0
+    timeouts: int = 0
+    dup_suppressed: int = 0
+    corrupt_dropped: int = 0
+
+    CHAOS_FIELDS = (
+        "drops_injected",
+        "dup_injected",
+        "corrupt_injected",
+        "retrans_messages",
+        "retrans_bytes",
+        "ack_messages",
+        "ack_bytes",
+        "timeouts",
+        "dup_suppressed",
+        "corrupt_dropped",
+    )
 
     def record(self, src: int, dst: int, nbytes: int, intra: bool) -> None:
         """Count one launched transfer."""
@@ -47,6 +75,25 @@ class TrafficCounters:
         self.bytes_received_by_rank[dst] = (
             self.bytes_received_by_rank.get(dst, 0) + nbytes
         )
+
+    def record_retransmission(self, nbytes: int) -> None:
+        """Count one retransmitted payload (reliability layer only)."""
+        self.retrans_messages += 1
+        self.retrans_bytes += nbytes
+
+    def record_ack(self, nbytes: int) -> None:
+        """Count one ACK control packet (kept out of ``messages``)."""
+        self.ack_messages += 1
+        self.ack_bytes += nbytes
+
+    @property
+    def has_chaos(self) -> bool:
+        """True when any fault was injected or recovery work was done."""
+        return any(getattr(self, name) for name in self.CHAOS_FIELDS)
+
+    def chaos_dict(self) -> dict:
+        """Chaos/reliability tallies alone (all keys, zeros included)."""
+        return {name: getattr(self, name) for name in self.CHAOS_FIELDS}
 
     def merge(self, other: "TrafficCounters") -> None:
         """Accumulate another tally (used when composing phases)."""
@@ -66,10 +113,13 @@ class TrafficCounters:
             self.bytes_received_by_rank[dst] = (
                 self.bytes_received_by_rank.get(dst, 0) + n
             )
+        for name in self.CHAOS_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> dict:
-        """Flat summary for reports."""
-        return {
+        """Flat summary for reports (chaos tallies only when present,
+        so fault-free reports keep their original shape)."""
+        out = {
             "messages": self.messages,
             "bytes": self.bytes,
             "intra_messages": self.intra_messages,
@@ -77,6 +127,9 @@ class TrafficCounters:
             "inter_messages": self.inter_messages,
             "inter_bytes": self.inter_bytes,
         }
+        if self.has_chaos:
+            out.update(self.chaos_dict())
+        return out
 
     def __repr__(self) -> str:
         return (

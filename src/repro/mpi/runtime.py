@@ -15,10 +15,12 @@ from typing import Callable, List, Optional
 from ..errors import DeadlockError, SimulationError
 from ..machine import Machine
 from ..sim import Engine, FlowNetwork, NullTrace, Proc, RngStreams, Trace
+from ..sim.faults import FaultPlan
 from .comm import Communicator
 from .context import RankContext
 from .counters import TrafficCounters
 from .ops import ComputeOp, IrecvOp, IsendOp, RecvOp, SendOp, WaitOp
+from .reliable import ReliableConfig, ReliableTransport
 from .request import Request
 from .transport import Transport
 
@@ -92,16 +94,41 @@ class Job:
         trace: Optional[Trace] = None,
         working_set: int = 0,
         rng: Optional[RngStreams] = None,
+        faults: Optional[FaultPlan] = None,
+        reliable=None,
     ):
+        """``faults`` attaches a :class:`~repro.sim.faults.FaultPlan` to
+        the transport; ``reliable`` opts into the ARQ layer — pass
+        ``True`` for :class:`~repro.mpi.reliable.ReliableConfig` defaults
+        or a config instance for tuned timeouts/budgets."""
         self.machine = machine
         self.comm = comm if comm is not None else Communicator.world(machine.nranks)
         self.engine = Engine()
         self.flownet = FlowNetwork(self.engine)
         self.counters = TrafficCounters()
         self.trace = trace if trace is not None else NullTrace()
-        self.transport = Transport(
-            self.engine, self.flownet, machine, self.trace, self.counters, rng=rng
-        )
+        if reliable:
+            config = reliable if isinstance(reliable, ReliableConfig) else None
+            self.transport = ReliableTransport(
+                self.engine,
+                self.flownet,
+                machine,
+                self.trace,
+                self.counters,
+                rng=rng,
+                faults=faults,
+                config=config,
+            )
+        else:
+            self.transport = Transport(
+                self.engine,
+                self.flownet,
+                machine,
+                self.trace,
+                self.counters,
+                rng=rng,
+                faults=faults,
+            )
         if working_set:
             machine.set_working_set(working_set)
 
@@ -131,6 +158,9 @@ class Job:
         if unfinished:
             blocked = [repr(p) for p in unfinished]
             blocked.extend(self.transport.blocked_summary())
+            blocked.extend(
+                f"injected {line}" for line in self.transport.fault_summary()
+            )
             raise DeadlockError(blocked)
         makespan = max(t for t in self._finish_times)
         return JobResult(

@@ -6,6 +6,15 @@ from .resources import Resource
 from .flows import Flow, FlowNetwork, SolverStats, solver_mode
 from .trace import Trace, NullTrace, TraceRecord
 from .random import RngStreams
+from .faults import (
+    Blackout,
+    FaultDecision,
+    FaultPlan,
+    InjectedFault,
+    LatencySpike,
+    LinkRule,
+    RankFault,
+)
 
 __all__ = [
     "Engine",
@@ -23,4 +32,11 @@ __all__ = [
     "NullTrace",
     "TraceRecord",
     "RngStreams",
+    "Blackout",
+    "FaultDecision",
+    "FaultPlan",
+    "InjectedFault",
+    "LatencySpike",
+    "LinkRule",
+    "RankFault",
 ]

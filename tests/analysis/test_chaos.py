@@ -1,0 +1,114 @@
+"""Tests for the chaos differential gate."""
+
+from repro.analysis.chaos import (
+    ChaosCheck,
+    chaos_gate,
+    default_plans,
+    run_chaos_point,
+)
+from repro.sim import FaultPlan
+
+
+class TestDefaultPlans:
+    def test_grid_shape(self):
+        plans = default_plans(seed=0)
+        names = [p.name for p in plans]
+        assert names == ["zero", "drop5", "drop20", "dup_corrupt", "slow", "crash"]
+        assert plans[0].is_zero
+        assert len({p.digest() for p in plans}) == len(plans)
+
+    def test_seed_threads_through(self):
+        assert default_plans(0)[1].digest() != default_plans(100)[1].digest()
+
+
+class TestRunChaosPoint:
+    def test_zero_plan_is_perfect_noop(self):
+        check = run_chaos_point("bcast_opt", 5, FaultPlan.none())
+        assert check.status == "ok"
+        assert (check.drops, check.retrans, check.timeouts, check.acks) == (
+            0, 0, 0, 0,
+        )
+
+    def test_drops_recovered_with_identical_payloads(self):
+        plan = FaultPlan.uniform(seed=1, drop_p=0.2, name="drop20")
+        check = run_chaos_point("bcast_opt", 5, plan)
+        assert check.status == "ok"
+        assert check.drops > 0 and check.retrans > 0
+
+    def test_crash_yields_typed_exhaustion(self):
+        plan = FaultPlan.none(name="crash").with_crash(1)
+        check = run_chaos_point("bcast_binomial", 5, plan)
+        assert check.status == "exhausted"
+        assert "presumed dead" in check.detail
+
+    def test_point_is_deterministic(self):
+        plan = FaultPlan.uniform(seed=3, drop_p=0.15, dup_p=0.1, name="mix")
+        assert run_chaos_point("bcast_native", 5, plan) == run_chaos_point(
+            "bcast_native", 5, plan
+        )
+
+
+class TestGate:
+    def test_small_gate_passes_with_degradation_check(self):
+        report = chaos_gate(seed=0, collectives=["bcast_opt"], ranks=[5])
+        assert report.ok
+        first = report.checks[0]
+        assert first.collective == "selector_degradation" and first.ok
+        # degradation check + 6 plans for the one collective
+        assert len(report.checks) == 1 + len(default_plans(0))
+
+    def test_report_serialises(self):
+        report = chaos_gate(seed=0, collectives=["bcast_binomial"], ranks=[5])
+        data = report.to_dict()
+        assert data["ok"] is True and data["seed"] == 0
+        assert len(data["checks"]) == len(report.checks)
+        assert "verdict: OK" in report.describe()
+
+    def test_failures_surface_in_describe(self):
+        bad = ChaosCheck("x", 4, "p", "fail", detail="boom")
+        report = chaos_gate(seed=0, collectives=[], ranks=[])
+        doctored = type(report)(
+            checks=report.checks + (bad,),
+            seed=report.seed,
+            nbytes=report.nbytes,
+            machine=report.machine,
+        )
+        assert not doctored.ok and doctored.failures == [bad]
+        assert "FAIL x P=4 plan=p: boom" in doctored.describe()
+        assert "verdict: FAIL" in doctored.describe()
+
+    def test_unsupported_rank_skipped(self):
+        # scatter_rdbl is pof2-only: P=5 must be skipped, not failed.
+        report = chaos_gate(
+            seed=0, collectives=["bcast_rdbl"], ranks=[5]
+        )
+        assert len(report.checks) == 1  # degradation check only
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        chaos_gate(
+            seed=0,
+            collectives=["bcast_binomial"],
+            ranks=[5],
+            plans=[FaultPlan.none()],
+            progress=seen.append,
+        )
+        assert seen == ["chaos bcast_binomial P=5 plan=zero"]
+
+
+class TestDegradation:
+    def test_selector_prefers_binomial_under_crash(self):
+        from repro.collectives.selector import LONG_MSG_SIZE, choose_bcast_name
+
+        crash = FaultPlan.none().with_crash(1)
+        assert (
+            choose_bcast_name(LONG_MSG_SIZE, 10, tuned=True, faults=crash)
+            == "binomial"
+        )
+        assert (
+            choose_bcast_name(LONG_MSG_SIZE, 10, tuned=True, faults=FaultPlan.none())
+            == "scatter_ring_opt"
+        )
+        # Short messages never used the ring; the crash changes nothing.
+        short = choose_bcast_name(1024, 10, tuned=True, faults=crash)
+        assert short == choose_bcast_name(1024, 10, tuned=True)

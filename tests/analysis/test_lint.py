@@ -139,6 +139,15 @@ class TestTree:
     def test_simulation_core_is_clean(self):
         assert lint_paths(default_target_paths()) == []
 
+    def test_default_targets_cover_fault_and_arq_modules(self):
+        # The chaos gate depends on sim/faults.py and mpi/reliable.py
+        # staying deterministic; the package-level targets must keep
+        # sweeping them up.
+        covered = set()
+        for root in default_target_paths():
+            covered.update(p.name for p in root.rglob("*.py"))
+        assert {"faults.py", "reliable.py"} <= covered
+
     def test_lint_paths_walks_directories(self, tmp_path):
         (tmp_path / "ok.py").write_text("x = 1\n")
         (tmp_path / "bad.py").write_text("import time\ny = time.time()\n")

@@ -1,0 +1,56 @@
+"""Static fault suppression in the zero-time schedule executor."""
+
+import pytest
+
+from repro.collectives.schedule import ScheduleExecutor
+from repro.errors import DeadlockError
+from repro.sim import FaultPlan, LinkRule
+
+
+def ring_factory(nranks, nbytes=1024):
+    """Eager-safe ring: everyone isends right, then recvs left."""
+
+    def factory(ctx):
+        def program():
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            req = yield from ctx.isend(right, nbytes, tag=3)
+            yield from ctx.recv(left, nbytes, tag=3)
+            yield from ctx.wait(req)
+            return None
+
+        return program()
+
+    return factory
+
+
+class TestSuppression:
+    def test_drop_starves_receiver_and_names_the_event(self):
+        plan = FaultPlan.none(name="cut").with_rule(
+            LinkRule(src=0, dst=1, drop_p=1.0, label="cut")
+        )
+        executor = ScheduleExecutor(4, ring_factory(4), faults=plan)
+        with pytest.raises(DeadlockError) as exc_info:
+            executor.run()
+        text = str(exc_info.value)
+        assert "injected" in text
+        assert "drop 0->1 tag=3 op#0" in text and "(cut)" in text
+        assert executor.suppressed  # audit list populated
+
+    def test_zero_plan_matches_unfaulted_run(self):
+        clean = ScheduleExecutor(4, ring_factory(4)).run()
+        zero = ScheduleExecutor(4, ring_factory(4), faults=FaultPlan.none()).run()
+        assert len(zero.sends) == len(clean.sends) == 4
+        assert zero.observed == clean.observed
+
+    def test_suppressed_send_still_recorded_not_delivered(self):
+        """The drop eats delivery, not the send record: counting stays
+        faithful to what the sender issued."""
+        plan = FaultPlan.none(name="cut").with_rule(
+            LinkRule(src=2, dst=3, drop_p=1.0)
+        )
+        executor = ScheduleExecutor(4, ring_factory(4), faults=plan)
+        with pytest.raises(DeadlockError):
+            executor.run()
+        assert len(executor.sends) == 4  # all four sends were issued
+        assert len(executor.suppressed) == 1

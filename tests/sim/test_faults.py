@@ -1,0 +1,164 @@
+"""Unit tests for the seeded deterministic fault plans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    Blackout,
+    FaultDecision,
+    FaultPlan,
+    LatencySpike,
+    LinkRule,
+)
+
+
+class TestPredicates:
+    def test_zero_plan(self):
+        plan = FaultPlan.none(seed=3)
+        assert plan.is_zero and not plan.lossy
+        assert plan.crashed_ranks() == ()
+        assert plan.decide(0, 1, 7, 0) is FaultDecision.CLEAN
+
+    def test_uniform_zero_probabilities_is_zero(self):
+        assert FaultPlan.uniform(seed=1).is_zero
+
+    def test_lossy_sources(self):
+        assert FaultPlan.uniform(drop_p=0.1).lossy
+        assert FaultPlan.uniform(corrupt_p=0.1).lossy
+        assert not FaultPlan.uniform(dup_p=0.5).lossy
+        assert not FaultPlan.uniform(extra_latency=1e-6).lossy
+        assert FaultPlan.none().with_blackout(Blackout(t0=0, t1=1e-6)).lossy
+        assert FaultPlan.none().with_crash(2).lossy
+        assert not FaultPlan.none().with_slowdown(2, 3.0).lossy
+
+    def test_crashed_ranks_window(self):
+        plan = FaultPlan.none().with_crash(1).with_crash(4, at=5e-6)
+        assert plan.crashed_ranks() == (1, 4)
+        assert plan.crashed_ranks(before=1e-6) == (1,)
+
+
+class TestDecide:
+    def test_deterministic_and_order_independent(self):
+        plan = FaultPlan.uniform(seed=11, drop_p=0.3, dup_p=0.2, corrupt_p=0.1)
+        coords = [
+            (s, d, t, o)
+            for s in range(4)
+            for d in range(4)
+            if s != d
+            for t in (0, 7)
+            for o in range(5)
+        ]
+        forward = [plan.decide(*c) for c in coords]
+        backward = [plan.decide(*c) for c in reversed(coords)]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_decisions(self):
+        coords = [(0, 1, 7, o) for o in range(64)]
+        a = [FaultPlan.uniform(seed=0, drop_p=0.5).decide(*c).drop for c in coords]
+        b = [FaultPlan.uniform(seed=1, drop_p=0.5).decide(*c).drop for c in coords]
+        assert a != b
+
+    def test_drop_frequency_tracks_probability(self):
+        plan = FaultPlan.uniform(seed=0, drop_p=0.5)
+        drops = sum(
+            plan.decide(s, d, 0, o).drop
+            for s in range(4)
+            for d in range(4)
+            if s != d
+            for o in range(100)
+        )
+        assert 480 <= drops <= 720  # 1200 coins at p=0.5
+
+    def test_op_window_targeting(self):
+        rule = LinkRule(src=0, dst=1, op_lo=2, op_hi=3, drop_p=1.0, label="third")
+        plan = FaultPlan.none().with_rule(rule)
+        assert not plan.decide(0, 1, 0, 1).drop
+        decision = plan.decide(0, 1, 0, 2)
+        assert decision.drop and "third" in decision.cause
+        assert not plan.decide(0, 1, 0, 3).drop
+        assert not plan.decide(1, 0, 0, 2).drop  # reverse link untouched
+
+    def test_crash_drops_both_directions_after_crash_time(self):
+        plan = FaultPlan.none().with_crash(2, at=1e-6)
+        assert not plan.decide(0, 2, 0, 0, now=0.0).drop
+        assert plan.decide(0, 2, 0, 0, now=2e-6).drop
+        assert plan.decide(2, 0, 0, 0, now=2e-6).drop
+        assert not plan.decide(0, 1, 0, 0, now=2e-6).drop
+
+    def test_blackout_window(self):
+        plan = FaultPlan.none().with_blackout(Blackout(t0=1e-6, t1=2e-6))
+        assert not plan.decide(0, 1, 0, 0, now=0.5e-6).drop
+        assert plan.decide(0, 1, 0, 0, now=1.5e-6).drop
+        assert not plan.decide(0, 1, 0, 0, now=2e-6).drop  # t1 exclusive
+
+    def test_spike_and_slowdown_shape_latency(self):
+        plan = (
+            FaultPlan.uniform(extra_latency=1e-6)
+            .with_spike(LatencySpike(t0=0.0, t1=1e-3, extra_latency=2e-6))
+            .with_slowdown(1, 4.0)
+        )
+        d = plan.decide(0, 1, 0, 0, now=0.0)
+        assert d.extra_latency == pytest.approx(3e-6)
+        assert d.latency_factor == pytest.approx(4.0)
+        off_window = plan.decide(0, 1, 0, 0, now=2e-3)
+        assert off_window.extra_latency == pytest.approx(1e-6)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        src=st.integers(min_value=0, max_value=63),
+        dst=st.integers(min_value=0, max_value=63),
+        tag=st.integers(min_value=-1, max_value=100),
+        op=st.integers(min_value=0, max_value=1000),
+    )
+    def test_decide_is_pure(self, seed, src, dst, tag, op):
+        plan = FaultPlan.uniform(seed=seed, drop_p=0.4, dup_p=0.3, corrupt_p=0.2)
+        assert plan.decide(src, dst, tag, op) == plan.decide(src, dst, tag, op)
+
+
+class TestSerialisation:
+    def _full_plan(self):
+        return (
+            FaultPlan.uniform(seed=9, drop_p=0.1, dup_p=0.2, name="full")
+            .with_rule(LinkRule(src=1, dst=2, tag=7, op_hi=4, corrupt_p=0.5))
+            .with_blackout(Blackout(t0=1e-6, t1=2e-6, label="b"))
+            .with_spike(LatencySpike(t0=0.0, t1=1e-6, extra_latency=3e-6))
+            .with_crash(3, at=4e-6)
+            .with_slowdown(2, 2.5)
+        )
+
+    def test_round_trip(self):
+        plan = self._full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_digest_stable_and_discriminating(self):
+        plan = self._full_plan()
+        assert plan.digest() == FaultPlan.from_dict(plan.to_dict()).digest()
+        assert plan.digest() != FaultPlan.none().digest()
+        a = FaultPlan.uniform(seed=0, drop_p=0.1)
+        b = FaultPlan.uniform(seed=1, drop_p=0.1)
+        assert a.digest() != b.digest()
+
+    def test_describe_names_everything(self):
+        text = self._full_plan().describe()
+        assert "full" in text and "blackout" in text and "crashed" in text
+
+
+class TestValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            LinkRule(drop_p=1.5)
+
+    def test_bad_windows(self):
+        with pytest.raises(ConfigurationError):
+            Blackout(t0=2e-6, t1=1e-6)
+        with pytest.raises(ConfigurationError):
+            LatencySpike(t0=0.0, t1=0.0, extra_latency=1e-6)
+
+    def test_bad_slowdown(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.none().with_slowdown(0, 0.5)
+
+    def test_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=-1)

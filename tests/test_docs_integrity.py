@@ -20,6 +20,7 @@ DOCS = [
     ROOT / "docs" / "collectives.md",
     ROOT / "docs" / "performance.md",
     ROOT / "docs" / "analysis.md",
+    ROOT / "docs" / "robustness.md",
 ]
 
 _PATH_RE = re.compile(
