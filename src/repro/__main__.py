@@ -16,6 +16,12 @@ Commands cover the common workflows without writing a script:
   the reliable (ARQ) transport under seeded fault plans and must
   deliver bit-identical payloads or fail with a typed dead-link error;
   ``--grid`` covers the whole registry (``--strict`` for nonzero exit);
+* ``replay``  — vectorized-replay differential gate: the schedule
+  replay engine must reproduce the DES bitwise (makespan, per-rank
+  finish times, every wire counter); single point by default,
+  ``--grid`` covers the registry (``--strict`` for nonzero exit);
+* ``bench-report`` — print every ``BENCH_*.json`` performance
+  trajectory file as one table;
 * ``trace``   — simulate one collective with tracing and report the
   critical path (``--critical-path``) or export a Chrome trace
   (``--chrome out.json``);
@@ -38,6 +44,9 @@ Examples::
     python -m repro cost --grid --strict
     python -m repro chaos --grid --strict
     python -m repro chaos --collective bcast_opt --nranks 8 --seed 7
+    python -m repro replay --grid --strict
+    python -m repro replay --collective bcast_opt --nranks 129 --nbytes 12KiB
+    python -m repro bench-report
     python -m repro compare --fault-drop 0.1 --chaos-stats
     python -m repro trace --collective bcast_opt --nranks 8 --critical-path
     python -m repro lint
@@ -565,6 +574,91 @@ def cmd_chaos(args) -> int:
     return (1 if not report.ok else 0) if args.strict else 0
 
 
+def cmd_replay(args) -> int:
+    import json as _json
+
+    from .analysis.replaygate import (
+        DEFAULT_RANKS,
+        DEFAULT_SIZES,
+        replay_gate,
+        run_replay_point,
+    )
+    from .analysis.verify import REGISTRY
+    from .util import parse_size
+
+    spec = _spec(args)
+    if args.grid:
+        report = replay_gate(
+            spec=spec, ranks=DEFAULT_RANKS, sizes=DEFAULT_SIZES, progress=None
+        )
+    else:
+        if args.collective not in REGISTRY:
+            print(
+                f"error: unknown collective {args.collective!r}; "
+                f"known: {sorted(REGISTRY)}",
+                file=sys.stderr,
+            )
+            return 2
+        if not REGISTRY[args.collective].supports(args.nranks):
+            print(
+                f"error: {args.collective!r} does not support P={args.nranks}",
+                file=sys.stderr,
+            )
+            return 2
+        from .analysis.replaygate import ReplayReport
+
+        check = run_replay_point(
+            args.collective, args.nranks, parse_size(args.nbytes), spec=spec
+        )
+        report = ReplayReport(checks=(check,), machine=spec.name)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+        return (1 if not report.ok else 0) if args.strict else 0
+    table = Table(
+        ["collective", "P", "nbytes", "sends", "status"],
+        title=f"replay differential gate (bitwise DES equality) on {report.machine}",
+    )
+    for c in report.checks:
+        table.add_row(c.collective, c.nranks, c.nbytes, c.sends, c.status.upper())
+    print(table)
+    for c in report.failures:
+        print(f"  FAIL {c.collective} P={c.nranks} nbytes={c.nbytes}: {c.detail}")
+    print(report.describe().splitlines()[-1])
+    return (1 if not report.ok else 0) if args.strict else 0
+
+
+def cmd_bench_report(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    root = Path(args.dir)
+    paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json files under {root}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        try:
+            data = _json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"{path.name}: unreadable ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"{path.name} — {data.get('date', '?')}")
+        print(f"  {data.get('benchmark', '?')}")
+        table = Table(["metric", "value"])
+        for key in sorted(data):
+            if key in ("benchmark", "date", "notes"):
+                continue
+            table.add_row(key, data[key])
+        print(table)
+        notes = data.get("notes", "")
+        if notes and args.notes:
+            print(f"  notes: {notes}")
+        print()
+    return 1 if failures else 0
+
+
 def cmd_trace(args) -> int:
     from .analysis import critical_path, phase_summary, write_chrome_trace
     from .analysis.verify import REGISTRY
@@ -807,6 +901,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "replay",
+        help="vectorized-replay differential gate (bitwise DES equality)",
+    )
+    p.add_argument(
+        "--machine",
+        choices=sorted(_PRESETS),
+        default="hornet",
+        help="machine preset (default: hornet)",
+    )
+    p.add_argument("--nodes", type=int, default=0, help="override node count")
+    p.add_argument(
+        "--collective",
+        default="bcast_opt",
+        help="registry name for single-point mode (default: bcast_opt)",
+    )
+    p.add_argument("--nranks", type=int, default=8, help="process count (default: 8)")
+    p.add_argument(
+        "--nbytes", default="64KiB", help="message size (default: 64KiB)"
+    )
+    p.add_argument(
+        "--grid",
+        action="store_true",
+        help="run every registry collective at the default rank/size grid",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any replay check fails",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "bench-report",
+        help="print every BENCH_*.json performance trajectory as tables",
+    )
+    p.add_argument(
+        "--dir", default=".", help="directory holding BENCH_*.json (default: .)"
+    )
+    p.add_argument(
+        "--notes", action="store_true", help="also print each file's notes field"
+    )
+    p.set_defaults(func=cmd_bench_report)
 
     p = sub.add_parser(
         "trace",

@@ -4,8 +4,10 @@ Post-hoc trace tooling (timelines, phase summaries, Chrome trace
 export, critical path) plus the static schedule verifier
 (:mod:`repro.analysis.verify`), the α-β/LogGP cost engine
 (:mod:`repro.analysis.costmodel`), the symbolic all-P savings proofs
-(:mod:`repro.analysis.symbolic`) and the determinism lint
-(:mod:`repro.analysis.lint`).
+(:mod:`repro.analysis.symbolic`), the determinism lint
+(:mod:`repro.analysis.lint`) and the engine differential gates: chaos
+(:mod:`repro.analysis.chaos`) and replay-vs-DES
+(:mod:`repro.analysis.replaygate`).
 """
 
 from .timeline import (
@@ -35,6 +37,12 @@ from .chaos import (
     chaos_gate,
     default_plans,
     run_chaos_point,
+)
+from .replaygate import (
+    ReplayCheck,
+    ReplayReport,
+    replay_gate,
+    run_replay_point,
 )
 from .lint import LintViolation, lint_paths, lint_source
 from .symbolic import (
@@ -87,6 +95,10 @@ __all__ = [
     "chaos_gate",
     "default_plans",
     "run_chaos_point",
+    "ReplayCheck",
+    "ReplayReport",
+    "replay_gate",
+    "run_replay_point",
     "LintViolation",
     "lint_paths",
     "lint_source",

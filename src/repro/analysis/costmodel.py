@@ -52,7 +52,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..collectives.schedule import ScheduleResult, extract_schedule
+from ..collectives.schedule import ScheduleResult, cached_schedule
 from ..errors import ConfigurationError, ReproError
 from ..machine import Machine, MachineSpec, ideal
 from ..mpi.runtime import Job
@@ -353,8 +353,12 @@ def analyze_collective(
         )
     machine = Machine(spec if spec is not None else ideal(), nranks, placement)
     machine.set_working_set(nbytes)
-    schedule = extract_schedule(
-        nranks, collective.build(nranks, nbytes, root), placement=machine.placement
+    node_map = tuple(machine.placement.node_of(r) for r in range(nranks))
+    schedule = cached_schedule(
+        ("registry", name, nranks, nbytes, root, node_map),
+        nranks,
+        collective.build(nranks, nbytes, root),
+        placement=machine.placement,
     )
     return analyze_schedule(
         schedule, machine, collective=name, nbytes=nbytes, root=root
@@ -489,8 +493,10 @@ def differential_gate(
                 cost = analyze_collective(
                     name, nranks, nbytes, spec=machine_spec, placement=placement
                 )
-                check = extract_schedule(
-                    nranks, collective.build(nranks, nbytes, 0)
+                check = cached_schedule(
+                    ("registry", name, nranks, nbytes, 0, None),
+                    nranks,
+                    collective.build(nranks, nbytes, 0),
                 )
             except ReproError as exc:
                 report.checks.append(
@@ -623,11 +629,15 @@ def differential_gate(
         nbytes = sizes[-1]
         subject = f"recurrence vs extracted schedules P={nranks} nbytes={nbytes}"
         try:
-            native = extract_schedule(
-                nranks, REGISTRY["bcast_native"].build(nranks, nbytes, 0)
+            native = cached_schedule(
+                ("registry", "bcast_native", nranks, nbytes, 0, None),
+                nranks,
+                REGISTRY["bcast_native"].build(nranks, nbytes, 0),
             )
-            tuned = extract_schedule(
-                nranks, REGISTRY["bcast_opt"].build(nranks, nbytes, 0)
+            tuned = cached_schedule(
+                ("registry", "bcast_opt", nranks, nbytes, 0, None),
+                nranks,
+                REGISTRY["bcast_opt"].build(nranks, nbytes, 0),
             )
         except ReproError as exc:
             report.checks.append(

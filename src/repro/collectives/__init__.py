@@ -63,6 +63,8 @@ from .schedule import (
     RecordedSend,
     ScheduleResult,
     ScheduleExecutor,
+    cached_schedule,
+    clear_schedule_memo,
     extract_schedule,
 )
 
@@ -131,5 +133,7 @@ __all__ = [
     "RecordedSend",
     "ScheduleResult",
     "ScheduleExecutor",
+    "cached_schedule",
+    "clear_schedule_memo",
     "extract_schedule",
 ]

@@ -20,6 +20,15 @@ but never delivered — and a resulting deadlock report names the exact
 injected event that ate the expected message instead of reading like a
 schedule bug. The executor has no clock, so time-windowed faults
 (blackouts, timed crashes) are evaluated at t=0.
+
+Besides the transfer list, the executor records one *op log* per rank:
+the exact ``(kind, arg)`` sequence of MPI operations the program
+executed, with every receive annotated with the send order it matched
+and every waitall with the rank-local op indices it covered. That log
+is what :func:`repro.sim.replay.compile_schedule` turns into the
+vectorized replay engine's program-counter streams; schedules that use
+timing-dependent features (``ANY_SOURCE``) carry ``replay_blockers``
+naming why they must run on the DES instead.
 """
 
 from __future__ import annotations
@@ -35,8 +44,23 @@ from ..mpi.matching import Envelope, MatchingEngine
 from ..mpi.ops import ComputeOp, IrecvOp, IsendOp, RecvOp, SendOp, WaitOp
 from ..mpi.request import Request, Status
 from ..sim import Proc
+from ..sim.replay import (
+    OP_COMPUTE,
+    OP_IRECV,
+    OP_ISEND,
+    OP_RECV,
+    OP_SEND,
+    OP_WAIT,
+)
 
-__all__ = ["RecordedSend", "ScheduleResult", "ScheduleExecutor", "extract_schedule"]
+__all__ = [
+    "RecordedSend",
+    "ScheduleResult",
+    "ScheduleExecutor",
+    "extract_schedule",
+    "cached_schedule",
+    "clear_schedule_memo",
+]
 
 _BLOCKED = object()
 
@@ -85,6 +109,12 @@ class ScheduleResult:
     match_clock: Dict[int, int] = field(default_factory=dict)
     observed: Dict[int, List[int]] = field(default_factory=dict)
     dep_counts: Dict[int, int] = field(default_factory=dict)
+    # Per-rank executed-op streams (``[kind, arg]`` pairs, see
+    # repro.sim.replay's OP_* opcodes) keyed by global rank in kick
+    # order, plus the reasons — if any — the schedule cannot be replayed
+    # without the DES (wildcard sources, foreign wait requests).
+    op_log: Dict[int, List[List]] = field(default_factory=dict)
+    replay_blockers: Tuple[str, ...] = ()
 
     @property
     def transfers(self) -> int:
@@ -167,6 +197,10 @@ class ScheduleExecutor:
         self.observed: Dict[int, List[int]] = {}  # rank -> consumed send orders
         self.dep_counts: Dict[int, int] = {}  # send order -> observed prefix len
         self._recv_order: Dict[Request, int] = {}  # recv request -> send order
+        self.op_log: Dict[int, List[List]] = {}  # rank -> [kind, arg] stream
+        self._req_op: Dict[Request, int] = {}  # isend/irecv req -> op index
+        self._recv_entry: Dict[Request, List] = {}  # recv req -> log entry
+        self._blockers: List[str] = []  # reasons replay must fall back
         self.matching = [MatchingEngine(r) for r in range(nranks)]
         self.procs: List[Proc] = []
         self.contexts: List[RankContext] = []
@@ -181,6 +215,7 @@ class ScheduleExecutor:
             self.procs.append(Proc(f"rank{local}", program_factory(ctx)))
             self._wake[glob] = local
             self.observed[glob] = []
+            self.op_log[glob] = []
 
     # -- driving ---------------------------------------------------------
     def run(self) -> ScheduleResult:
@@ -211,6 +246,8 @@ class ScheduleExecutor:
             match_clock=self.match_clock,
             observed=self.observed,
             dep_counts=self.dep_counts,
+            op_log=self.op_log,
+            replay_blockers=tuple(dict.fromkeys(self._blockers)),
         )
 
     def _describe_blocked(self, idx: int) -> str:
@@ -243,6 +280,7 @@ class ScheduleExecutor:
     # -- op execution ------------------------------------------------------
     def _execute(self, idx: int, op):
         glob = self.comm.to_global(idx)
+        log = self.op_log[glob]
         if isinstance(op, (SendOp, IsendOp)):
             req = Request(
                 "send",
@@ -254,7 +292,12 @@ class ScheduleExecutor:
                 disp=op.disp,
                 chunks=op.chunks,
             )
+            entry = [OP_ISEND if isinstance(op, IsendOp) else OP_SEND, -1]
+            if isinstance(op, IsendOp):
+                self._req_op[req] = len(log)
+            log.append(entry)
             self._do_send(req)
+            entry[1] = len(self.sends) - 1  # the order _do_send assigned
             return req if isinstance(op, IsendOp) else None
         if isinstance(op, (RecvOp, IrecvOp)):
             req = Request(
@@ -266,6 +309,16 @@ class ScheduleExecutor:
                 buffer=op.buffer,
                 disp=op.disp,
             )
+            if op.src < 0:
+                self._blockers.append(
+                    f"rank {glob} posts an ANY_SOURCE receive "
+                    f"(match order is timing-dependent)"
+                )
+            entry = [OP_IRECV if isinstance(op, IrecvOp) else OP_RECV, -1]
+            if isinstance(op, IrecvOp):
+                self._req_op[req] = len(log)
+            log.append(entry)
+            self._recv_entry[req] = entry  # filled in when it matches
             env = self.matching[glob].post_recv(req)
             if env is not None:
                 self._complete_recv(req, env)
@@ -284,6 +337,16 @@ class ScheduleExecutor:
             return _BLOCKED
         if isinstance(op, WaitOp):
             requests = op.requests
+            members = []
+            for r in requests:
+                member = self._req_op.get(r, -1)
+                if member < 0:
+                    self._blockers.append(
+                        f"rank {glob} waits on a request not returned by "
+                        f"its own isend/irecv"
+                    )
+                members.append(member)
+            log.append([OP_WAIT, tuple(members)])
             remaining = sum(1 for r in requests if not r.complete)
             if remaining == 0:
                 for r in requests:
@@ -304,6 +367,7 @@ class ScheduleExecutor:
                     r.on_complete(one_done)
             return _BLOCKED
         if isinstance(op, ComputeOp):
+            log.append([OP_COMPUTE, float(op.seconds)])
             return None  # time is free here
         raise SimulationError(f"schedule executor got unknown op {op!r}")
 
@@ -357,8 +421,12 @@ class ScheduleExecutor:
             self._complete_recv(recv_req, env)
 
     def _complete_recv(self, recv_req: Request, env: Envelope) -> None:
-        self.match_clock[self._env_order[env.seq]] = self._clock
-        self._recv_order[recv_req] = self._env_order[env.seq]
+        order = self._env_order[env.seq]
+        self.match_clock[order] = self._clock
+        self._recv_order[recv_req] = order
+        entry = self._recv_entry.get(recv_req)
+        if entry is not None:
+            entry[1] = order  # annotate the op log with the matched send
         self._clock += 1
         send_req, payload = env.send_req
         if env.nbytes > recv_req.nbytes:
@@ -388,3 +456,41 @@ def extract_schedule(
         placement=placement,
         faults=faults,
     ).run()
+
+
+# Process-wide extraction memo. Schedule extraction is the dominant cost
+# of every static-analysis pass (cost gate, replay gate, symbolic
+# checks) and they all revisit the same (collective, P, nbytes, root)
+# points; extracting once per process instead of once per pass keeps the
+# combined CI gates close to the cost of the cheapest one. Entries are
+# treated as immutable by every consumer.
+_SCHEDULE_MEMO: dict = {}
+_SCHEDULE_MEMO_CAP = 1024
+
+
+def cached_schedule(
+    key,
+    nranks: int,
+    program_factory: Callable[[RankContext], object],
+    placement=None,
+) -> ScheduleResult:
+    """Memoised :func:`extract_schedule` under a caller-supplied key.
+
+    *key* must capture every input that shapes the schedule — typically
+    ``(collective, nranks, nbytes, root)``, plus the placement's node
+    map when the program reads it. The caller owns the key discipline
+    because only it knows what its factory closes over.
+    """
+    result = _SCHEDULE_MEMO.get(key)
+    if result is None:
+        result = extract_schedule(nranks, program_factory, placement=placement)
+        if len(_SCHEDULE_MEMO) < _SCHEDULE_MEMO_CAP:
+            _SCHEDULE_MEMO[key] = result
+    return result
+
+
+def clear_schedule_memo() -> int:
+    """Drop every memoised schedule; returns how many were cached."""
+    count = len(_SCHEDULE_MEMO)
+    _SCHEDULE_MEMO.clear()
+    return count

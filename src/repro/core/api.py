@@ -25,11 +25,14 @@ from ..collectives import (
     get_algorithm,
 )
 from ..collectives.barrier import barrier
-from ..errors import ConfigurationError
+from ..collectives.schedule import extract_schedule
+from ..errors import ConfigurationError, ReplayUnsupportedError
 from ..machine import Machine, MachineSpec
 from ..mpi import Job, RealBuffer
 from ..sim import Trace
 from ..sim.faults import FaultPlan
+from ..sim.flows import solver_mode
+from ..sim.replay import ReplayEngine, compile_schedule, engine_mode
 from ..util import parse_size
 from .report import ComparisonRecord, RunRecord
 
@@ -87,6 +90,91 @@ def _resolve_algorithm(
 
         return label, algo
     return name, get_algorithm(name)
+
+
+# Process-wide memo of compiled replay schedules. Extraction dominates
+# the replay path's cost, and sweep/figure/gate drivers revisit the same
+# (algorithm, P, size) points many times per process; the compiled form
+# is machine-independent, so one entry serves every spec. The key folds
+# in the placement's exact node map — the only machine input an
+# algorithm can close over (``smp``/``smp_opt``).
+_REPLAY_MEMO: dict = {}
+_REPLAY_MEMO_CAP = 256
+
+
+def _is_static(machine: Machine, faults, reliable, trace, validate: bool) -> bool:
+    """True when the run's timing is statically determined (replayable).
+
+    Fault injection, the ARQ transport, tracing, data validation and
+    stochastic latencies all need the coroutine DES.
+    """
+    return (
+        (faults is None or faults.is_zero)
+        and not reliable
+        and trace is None
+        and not validate
+        and machine.spec.jitter_sigma == 0.0
+        and machine.spec.queueing_kappa == 0.0
+    )
+
+
+def _replay_compiled(kind: str, machine: Machine, factory, key_tail: tuple):
+    """Extract + compile *factory*'s schedule, memoised per process."""
+    placement = machine.placement
+    key = (
+        kind,
+        machine.nranks,
+        key_tail,
+        tuple(placement.node_of(r) for r in range(machine.nranks)),
+    )
+    compiled = _REPLAY_MEMO.get(key)
+    if compiled is None:
+        schedule = extract_schedule(machine.nranks, factory, placement=placement)
+        compiled = compile_schedule(schedule)
+        if len(_REPLAY_MEMO) < _REPLAY_MEMO_CAP:
+            _REPLAY_MEMO[key] = compiled
+    return compiled
+
+
+def _dispatch(machine, factory, kind, key_tail, working_set, *, static=True):
+    """Run *factory* on the engine ``REPRO_ENGINE`` selects.
+
+    Returns ``(result, engine_name)`` where *result* quacks like a
+    ``JobResult`` (``time``/``rank_finish_times``/``counters``/
+    ``solver_stats``). ``static=False`` marks configurations the replay
+    engine cannot express; ``auto`` then runs the DES and a forced
+    ``replay`` fails loudly instead of silently changing semantics.
+    """
+    mode = engine_mode()
+    if solver_mode() != "incremental":
+        # REPRO_SOLVER=reference is the solver differential-testing
+        # escape hatch; replay has its own data plane and cannot honour
+        # it, so the request routes to the DES.
+        if mode == "replay":
+            raise ConfigurationError(
+                "REPRO_ENGINE=replay cannot honour REPRO_SOLVER="
+                f"{solver_mode()!r}: the replay engine has its own "
+                "data plane; unset one of the two"
+            )
+        return None, "des"
+    if mode != "des" and static:
+        try:
+            compiled = _replay_compiled(kind, machine, factory, key_tail)
+            engine = ReplayEngine(machine, compiled, working_set=working_set)
+            return engine.run(), "replay"
+        except ReplayUnsupportedError as exc:
+            if mode == "replay":
+                raise ConfigurationError(
+                    f"REPRO_ENGINE=replay but the schedule cannot be "
+                    f"replayed: {exc}"
+                ) from exc
+    elif mode == "replay":
+        raise ConfigurationError(
+            "REPRO_ENGINE=replay requires a static run: no fault plan, "
+            "no reliable transport, no trace, no validation and "
+            "deterministic latencies (jitter_sigma=queueing_kappa=0)"
+        )
+    return None, "des"
 
 
 def _solver_fields(stats) -> dict:
@@ -166,15 +254,24 @@ def simulate_bcast(
 
         return program()
 
-    result = Job(
+    result, engine = _dispatch(
         machine,
         factory,
-        buffers=buffers,
-        trace=trace,
-        working_set=size,
-        faults=faults,
-        reliable=reliable,
-    ).run()
+        "bcast",
+        (label, size, root, iterations),
+        size,
+        static=_is_static(machine, faults, reliable, trace, validate),
+    )
+    if result is None:
+        result = Job(
+            machine,
+            factory,
+            buffers=buffers,
+            trace=trace,
+            working_set=size,
+            faults=faults,
+            reliable=reliable,
+        ).run()
 
     if validate:
         for rank, buf in enumerate(buffers):
@@ -195,6 +292,7 @@ def simulate_bcast(
         intra_messages=c.intra_messages // iterations,
         inter_messages=c.inter_messages // iterations,
         machine=machine.spec.name,
+        engine=engine,
         drops_injected=c.drops_injected,
         retrans_messages=c.retrans_messages,
         retrans_bytes=c.retrans_bytes,
@@ -276,7 +374,16 @@ def simulate_allgather(
         return program()
 
     total = block * nranks
-    result = Job(machine, factory, trace=trace, working_set=total).run()
+    result, engine = _dispatch(
+        machine,
+        factory,
+        "allgather",
+        (algorithm, block),
+        total,
+        static=_is_static(machine, None, None, trace, False),
+    )
+    if result is None:
+        result = Job(machine, factory, trace=trace, working_set=total).run()
     c = result.counters
     return RunRecord(
         algorithm=f"allgather_{algorithm}",
@@ -289,5 +396,6 @@ def simulate_allgather(
         intra_messages=c.intra_messages,
         inter_messages=c.inter_messages,
         machine=machine.spec.name,
+        engine=engine,
         **_solver_fields(result.solver_stats),
     )

@@ -31,13 +31,14 @@ from typing import Dict, Optional, Union
 
 from ..machine import MachineSpec
 from ..sim import solver_mode
+from ..sim.replay import engine_mode
 from .report import RunRecord
 
 __all__ = ["DiskCache", "CacheStats", "cache_key", "default_cache_dir", "CACHE_VERSION"]
 
 # Code-version salt folded into every key. Bump on any change that
 # alters simulated results (engine semantics, fluid model, algorithms).
-CACHE_VERSION = "2026.08.05.2"
+CACHE_VERSION = "2026.08.08.1"
 
 _CACHE_FILENAME = "sweep-records.jsonl"
 
@@ -82,7 +83,11 @@ def cache_key(
         "placement": str(placement),
         # Both solvers produce bitwise-identical times, but the cached
         # record carries mode-specific telemetry, so key on the mode.
+        # The execution engine (REPRO_ENGINE) is keyed for the same
+        # reason: DES and replay agree bitwise on times and counters,
+        # but the record's engine/solver telemetry differs.
         "solver": solver_mode(),
+        "engine": engine_mode(),
         "faults": faults.digest() if faults is not None else "",
         "reliable": repr(reliable) if reliable else "",
         "salt": salt,

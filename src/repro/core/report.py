@@ -26,6 +26,10 @@ class RunRecord:
     intra_messages: int
     inter_messages: int
     machine: str = "unknown"
+    # Which execution engine produced the record: "des" (coroutine
+    # discrete-event runtime) or "replay" (vectorized schedule replay,
+    # docs/performance.md). Both are bitwise-equivalent on static runs.
+    engine: str = "des"
     # Fluid-solver telemetry (see docs/performance.md). Totals over the
     # run's iterations; all deterministic except solver_time_s, which is
     # host wall time and therefore excluded from record equality.

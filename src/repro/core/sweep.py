@@ -173,7 +173,47 @@ class Sweep:
         "ack_messages",
         "ack_bytes",
         "timeouts",
+        # which execution engine produced the row ("des" or "replay")
+        "engine",
     )
+
+    @staticmethod
+    def csv_row(rec: RunRecord) -> Dict[str, str]:
+        """One record as a ``{field: text}`` mapping over ``CSV_FIELDS``.
+
+        Every row carries the full schema regardless of which engine
+        produced the record — a mixed-engine sweep (e.g. replay for the
+        clean points, DES for the chaos points) emits uniform CSV, with
+        telemetry a given engine does not collect rendered as zeros.
+        """
+        row = {
+            "algorithm": rec.algorithm,
+            "nranks": rec.nranks,
+            "nbytes": rec.nbytes,
+            # fixed-width scientific notation: stable across platforms,
+            # parses back to <1e-9 relative error, and diffs cleanly
+            # (repr() would vary in length)
+            "time_s": f"{rec.time:.9e}",
+            "bandwidth_mib": f"{rec.bandwidth_mib:.6f}",
+            "messages": rec.messages,
+            "bytes_on_wire": rec.bytes_on_wire,
+            "intra_messages": rec.intra_messages,
+            "inter_messages": rec.inter_messages,
+            "solver_solves": rec.solver_solves,
+            "solver_rounds": rec.solver_rounds,
+            # host wall time: informational, not reproducible
+            "solver_time_s": f"{rec.solver_time_s:.3e}",
+            "retrans_messages": rec.retrans_messages,
+            "retrans_bytes": rec.retrans_bytes,
+            "ack_messages": rec.ack_messages,
+            "ack_bytes": rec.ack_bytes,
+            "timeouts": rec.timeouts,
+            "engine": rec.engine or "des",
+        }
+        missing = set(Sweep.CSV_FIELDS) - set(row)
+        if missing:  # schema drift guard: fail loudly, not with a KeyError
+            raise ConfigurationError(f"csv_row lacks field(s): {sorted(missing)}")
+        return {field: str(row[field]) for field in Sweep.CSV_FIELDS}
 
     def to_csv(self, target=None, jobs: Optional[int] = 1, cache=None) -> str:
         """All sweep records as CSV (returned; also written to *target*
@@ -181,34 +221,8 @@ class Sweep:
         forwarding ``jobs``/``cache`` to :meth:`run`."""
         lines = [",".join(self.CSV_FIELDS)]
         for rec in self.run(jobs=jobs, cache=cache):
-            lines.append(
-                ",".join(
-                    str(v)
-                    for v in (
-                        rec.algorithm,
-                        rec.nranks,
-                        rec.nbytes,
-                        # fixed-width scientific notation: stable across
-                        # platforms, parses back to <1e-9 relative error,
-                        # and diffs cleanly (repr() would vary in length)
-                        f"{rec.time:.9e}",
-                        f"{rec.bandwidth_mib:.6f}",
-                        rec.messages,
-                        rec.bytes_on_wire,
-                        rec.intra_messages,
-                        rec.inter_messages,
-                        rec.solver_solves,
-                        rec.solver_rounds,
-                        # host wall time: informational, not reproducible
-                        f"{rec.solver_time_s:.3e}",
-                        rec.retrans_messages,
-                        rec.retrans_bytes,
-                        rec.ack_messages,
-                        rec.ack_bytes,
-                        rec.timeouts,
-                    )
-                )
-            )
+            row = self.csv_row(rec)
+            lines.append(",".join(row[field] for field in self.CSV_FIELDS))
         text = "\n".join(lines) + "\n"
         if target is not None:
             if isinstance(target, str):

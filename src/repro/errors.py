@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "DeadlockError",
+    "ReplayUnsupportedError",
     "MachineError",
     "PlacementError",
     "MpiError",
@@ -47,6 +48,18 @@ class DeadlockError(SimulationError):
         super().__init__(
             f"simulation deadlocked with {len(self.blocked)} blocked process(es): {detail}"
         )
+
+
+class ReplayUnsupportedError(SimulationError):
+    """A schedule cannot be executed by the vectorized replay engine.
+
+    Raised by :func:`repro.sim.replay.compile_schedule` when the
+    extracted schedule uses features whose timing is not statically
+    determined (wildcard ``ANY_SOURCE`` receives, never-matched blocking
+    receives) or when the machine spec enables stochastic latencies.
+    The auto-dispatch layer catches this and falls back to the DES;
+    ``REPRO_ENGINE=replay`` surfaces it as a configuration failure.
+    """
 
 
 class MachineError(ReproError):

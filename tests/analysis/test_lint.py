@@ -148,6 +148,22 @@ class TestTree:
             covered.update(p.name for p in root.rglob("*.py"))
         assert {"faults.py", "reliable.py"} <= covered
 
+    def test_default_targets_cover_replay_engine(self):
+        # The replay engine substitutes for the DES in sweeps and the
+        # disk cache, so its determinism matters as much as the
+        # simulation core's; it must stay under the lint's sweep and
+        # lint clean (its perf_counter telemetry carries explicit
+        # `det: allow` markers, like sim/flows.py).
+        covered = set()
+        replay = None
+        for root in default_target_paths():
+            for p in root.rglob("*.py"):
+                covered.add(p.name)
+                if p.name == "replay.py" and p.parent.name == "sim":
+                    replay = p
+        assert "replay.py" in covered and replay is not None
+        assert lint_paths([replay]) == []
+
     def test_lint_paths_walks_directories(self, tmp_path):
         (tmp_path / "ok.py").write_text("x = 1\n")
         (tmp_path / "bad.py").write_text("import time\ny = time.time()\n")

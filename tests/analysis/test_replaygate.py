@@ -1,0 +1,73 @@
+"""Tests for the replay differential gate (repro.analysis.replaygate)."""
+
+import json
+
+from repro.analysis.replaygate import (
+    DEFAULT_RANKS,
+    DEFAULT_SIZES,
+    ReplayCheck,
+    ReplayReport,
+    replay_gate,
+    run_replay_point,
+)
+from repro.machine import hornet, ideal
+
+
+class TestRunReplayPoint:
+    def test_clean_cell_is_ok(self):
+        check = run_replay_point("bcast_opt", 8, 12288)
+        assert check.status == "ok" and check.ok
+        assert check.sends > 0
+
+    def test_both_protocol_regimes(self):
+        # 512 B is eager, 256 KiB rendezvous on hornet (threshold 8192).
+        for nbytes in DEFAULT_SIZES:
+            check = run_replay_point("bcast_native", 5, nbytes, spec=hornet())
+            assert check.status == "ok", check.detail
+
+    def test_ideal_spec(self):
+        check = run_replay_point("allgather_ring", 6, 4096, spec=ideal())
+        assert check.status == "ok", check.detail
+
+    def test_to_dict_round_trips_json(self):
+        check = run_replay_point("barrier", 4, 0)
+        assert json.loads(json.dumps(check.to_dict()))["status"] == "ok"
+
+
+class TestReplayGate:
+    def test_subset_grid_passes(self):
+        report = replay_gate(
+            collectives=["bcast_opt", "bcast_binomial", "barrier"],
+            ranks=(2, 5, 8),
+            sizes=(512, 12288),
+        )
+        assert report.ok, report.describe()
+        # barrier supports every P; bcast variants too => 3 * 3 * 2 cells
+        assert len(report.checks) == 18
+        assert report.failures == []
+
+    def test_describe_names_verdict(self):
+        report = replay_gate(collectives=["barrier"], ranks=(2,), sizes=(0,))
+        text = report.describe()
+        assert "verdict: OK" in text and "bitwise-equal" in text
+
+    def test_failures_surface_in_report(self):
+        bad = ReplayCheck("fake", 4, 512, "fail", detail="boom")
+        good = ReplayCheck("barrier", 4, 512, "ok")
+        report = ReplayReport(checks=(bad, good), machine="test")
+        assert not report.ok
+        assert report.failures == [bad]
+        assert "boom" in report.describe()
+        assert report.to_dict()["ok"] is False
+
+    def test_unsupported_counts_as_ok(self):
+        skip = ReplayCheck("fake", 4, 512, "unsupported", detail="wildcard")
+        report = ReplayReport(checks=(skip,), machine="test")
+        assert report.ok
+        assert "1 unsupported fallback(s)" in report.describe()
+
+    def test_default_grid_constants(self):
+        # The CI gate spans both protocols and non-pof2 rank counts.
+        assert any(n <= 8192 for n in DEFAULT_SIZES)  # eager on hornet
+        assert any(n > 8192 for n in DEFAULT_SIZES)  # rendezvous
+        assert any(p & (p - 1) for p in DEFAULT_RANKS)  # non-pof2

@@ -72,13 +72,14 @@ class TestCacheKeys:
 class TestSweepCsv:
     def test_chaos_columns_are_appended(self):
         # Append-only CSV policy: new fields go at the end, old readers
-        # keep their column positions.
-        assert Sweep.CSV_FIELDS[-5:] == (
+        # keep their column positions ("engine" was appended after).
+        assert Sweep.CSV_FIELDS[-6:] == (
             "retrans_messages",
             "retrans_bytes",
             "ack_messages",
             "ack_bytes",
             "timeouts",
+            "engine",
         )
 
     def test_to_csv_carries_telemetry(self):

@@ -351,3 +351,75 @@ class TestVerifyCostPass:
         assert rc == 0
         assert isinstance(data, list)
         assert "redundant_count" in data[0]
+
+
+class TestReplayCommand:
+    def test_single_point_ok(self, capsys):
+        rc = main(["replay", "--collective", "bcast_opt", "--nranks", "13",
+                   "--nbytes", "12KiB"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bitwise" in out and "OK" in out and "verdict: OK" in out
+
+    def test_unknown_collective_exits_two(self, capsys):
+        rc = main(["replay", "--collective", "nope"])
+        assert rc == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+    def test_unsupported_rank_count_exits_two(self, capsys):
+        rc = main(["replay", "--collective", "bcast_rdbl", "--nranks", "7"])
+        assert rc == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_grid_strict_subset_via_json(self, capsys):
+        import json
+
+        rc = main(["replay", "--collective", "bcast_opt", "--nranks", "5",
+                   "--nbytes", "512", "--strict", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data["ok"] is True
+        assert data["checks"][0]["status"] == "ok"
+
+
+class TestBenchReportCommand:
+    def test_prints_every_bench_file(self, capsys, tmp_path):
+        import json
+
+        for name, metric in (("BENCH_a.json", 1.5), ("BENCH_b.json", 2)):
+            (tmp_path / name).write_text(json.dumps({
+                "benchmark": f"micro {name}",
+                "date": "2026-08-08",
+                "speedup": metric,
+                "notes": "details here",
+            }))
+        rc = main(["bench-report", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "BENCH_a.json" in out and "BENCH_b.json" in out
+        assert "speedup" in out and "details here" not in out
+
+    def test_notes_flag_includes_notes(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "BENCH_x.json").write_text(json.dumps({
+            "benchmark": "micro", "date": "d", "v": 1, "notes": "the notes",
+        }))
+        rc = main(["bench-report", "--dir", str(tmp_path), "--notes"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "the notes" in out
+
+    def test_empty_dir_exits_one(self, capsys, tmp_path):
+        rc = main(["bench-report", "--dir", str(tmp_path)])
+        assert rc == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_repo_root_bench_files_parse(self, capsys):
+        # The real trajectory files shipped with the repo must render.
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        rc = main(["bench-report", "--dir", str(root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "BENCH_replay.json" in out

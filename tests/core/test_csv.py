@@ -63,3 +63,40 @@ class TestCsv:
             cols = line.split(",")
             messages, intra, inter = int(cols[5]), int(cols[7]), int(cols[8])
             assert intra + inter == messages
+
+
+class TestUniformEngineSchema:
+    def test_engine_column_present(self):
+        text = tiny_sweep().to_csv()
+        lines = text.strip().splitlines()
+        header = lines[0].split(",")
+        assert header[-1] == "engine"
+        for line in lines[1:]:
+            assert line.split(",")[-1] in ("des", "replay")
+
+    def test_mixed_engine_rows_share_schema(self, monkeypatch):
+        # Rows produced by different engines must agree column-for-column:
+        # same width, same header order, telemetry a given engine does not
+        # collect rendered as zeros rather than dropped.
+        from repro.sim.replay import ENGINE_ENV
+
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        replay_rows = tiny_sweep().to_csv().strip().splitlines()
+        monkeypatch.setenv(ENGINE_ENV, "des")
+        des_rows = tiny_sweep().to_csv().strip().splitlines()
+        assert replay_rows[0] == des_rows[0]  # identical header
+        n_cols = len(replay_rows[0].split(","))
+        for rep_line, des_line in zip(replay_rows[1:], des_rows[1:]):
+            rep_cols, des_cols = rep_line.split(","), des_line.split(",")
+            assert len(rep_cols) == len(des_cols) == n_cols
+            # engine-independent columns are bitwise identical
+            assert rep_cols[:9] == des_cols[:9]
+        assert {line.split(",")[-1] for line in replay_rows[1:]} == {"replay"}
+        assert {line.split(",")[-1] for line in des_rows[1:]} == {"des"}
+
+    def test_csv_row_covers_every_field(self):
+        sweep = tiny_sweep()
+        rec = sweep.record("scatter_ring_opt", 4, 4096)
+        row = Sweep.csv_row(rec)
+        assert tuple(row) == Sweep.CSV_FIELDS
+        assert all(isinstance(v, str) for v in row.values())

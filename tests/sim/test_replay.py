@@ -1,0 +1,144 @@
+"""Tests for the vectorized schedule-replay engine (repro.sim.replay)."""
+
+import pytest
+
+from repro.analysis.verify import REGISTRY
+from repro.collectives.schedule import extract_schedule
+from repro.errors import ReplayUnsupportedError, SimulationError
+from repro.machine import Machine, hornet, ideal
+from repro.mpi import ANY_SOURCE, Job
+from repro.sim.replay import (
+    ENGINE_ENV,
+    ReplayEngine,
+    compile_schedule,
+    engine_mode,
+)
+
+
+def registry_compiled(name, nranks, nbytes, root=0):
+    sched = extract_schedule(nranks, REGISTRY[name].build(nranks, nbytes, root))
+    return compile_schedule(sched)
+
+
+def counters_dict(c):
+    return {
+        "messages": c.messages,
+        "bytes": c.bytes,
+        "intra_messages": c.intra_messages,
+        "inter_messages": c.inter_messages,
+        "intra_bytes": c.intra_bytes,
+        "inter_bytes": c.inter_bytes,
+        "sent_by_rank": dict(c.sent_by_rank),
+        "received_by_rank": dict(c.received_by_rank),
+        "bytes_sent_by_rank": dict(c.bytes_sent_by_rank),
+        "bytes_received_by_rank": dict(c.bytes_received_by_rank),
+    }
+
+
+class TestEngineMode:
+    def test_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert engine_mode() == "auto"
+
+    def test_reads_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "replay")
+        assert engine_mode() == "replay"
+
+    def test_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "warp")
+        with pytest.raises(SimulationError, match="warp"):
+            engine_mode()
+
+
+class TestCompile:
+    def test_flat_arrays_cover_every_send(self):
+        compiled = registry_compiled("bcast_opt", 8, 65536)
+        sched = extract_schedule(8, REGISTRY["bcast_opt"].build(8, 65536, 0))
+        assert compiled.n_sends == sched.transfers
+        assert int(compiled.send_nbytes.sum()) == sched.total_bytes
+        assert len(compiled.send_src) == compiled.n_sends
+
+    def test_wildcard_recv_is_unsupported(self):
+        def factory(ctx):
+            def program():
+                if ctx.rank == 0:
+                    yield from ctx.send(1, 64)
+                elif ctx.rank == 1:
+                    yield from ctx.recv(ANY_SOURCE, 64)
+
+            return program()
+
+        sched = extract_schedule(2, factory)
+        with pytest.raises(ReplayUnsupportedError, match="ANY_SOURCE"):
+            compile_schedule(sched)
+
+
+class TestReplayEngine:
+    # One eager and one rendezvous size per shape: both transport
+    # protocols, non-power-of-two and power-of-two rank counts.
+    CELLS = [
+        ("bcast_opt", 5, 512),
+        ("bcast_opt", 8, 262144),
+        ("bcast_native", 13, 12288),
+        ("bcast_binomial", 16, 4096),
+        ("allgather_ring", 6, 65536),
+        ("barrier", 7, 0),
+    ]
+
+    @pytest.mark.parametrize("name,nranks,nbytes", CELLS)
+    def test_bitwise_equal_to_des(self, name, nranks, nbytes):
+        compiled = registry_compiled(name, nranks, nbytes)
+        des = Job(
+            Machine(hornet(), nranks=nranks),
+            REGISTRY[name].build(nranks, nbytes, 0),
+            working_set=nbytes,
+        ).run()
+        rep = ReplayEngine(
+            Machine(hornet(), nranks=nranks), compiled, working_set=nbytes
+        ).run()
+        assert rep.time == des.time  # bitwise, no tolerance
+        assert list(rep.rank_finish_times) == list(des.rank_finish_times)
+        assert counters_dict(rep.counters) == counters_dict(des.counters)
+        assert rep.flows_completed == des.flows_completed
+
+    def test_compiled_schedule_is_machine_independent(self):
+        # One compiled schedule replays on different specs, matching the
+        # DES on each (the protocol split binds at replay time).
+        compiled = registry_compiled("bcast_opt", 9, 12288)
+        for spec_factory in (hornet, ideal):
+            des = Job(
+                Machine(spec_factory(), nranks=9),
+                REGISTRY["bcast_opt"].build(9, 12288, 0),
+                working_set=12288,
+            ).run()
+            rep = ReplayEngine(
+                Machine(spec_factory(), nranks=9), compiled, working_set=12288
+            ).run()
+            assert rep.time == des.time
+
+    def test_solver_stats_reported(self):
+        compiled = registry_compiled("bcast_opt", 8, 65536)
+        rep = ReplayEngine(Machine(hornet(), nranks=8), compiled).run()
+        stats = rep.solver_stats
+        assert stats.mode == "replay"
+        assert stats.solves > 0 and stats.flows_solved > 0
+
+    def test_jitter_spec_rejected(self):
+        compiled = registry_compiled("bcast_opt", 4, 4096)
+        machine = Machine(ideal(jitter_sigma=1e-7), nranks=4)
+        with pytest.raises(ReplayUnsupportedError, match="jitter"):
+            ReplayEngine(machine, compiled)
+
+    def test_machine_too_small_rejected(self):
+        compiled = registry_compiled("bcast_opt", 8, 4096)
+        with pytest.raises(SimulationError, match="hosts 4"):
+            ReplayEngine(Machine(hornet(), nranks=4), compiled)
+
+    def test_rerun_is_rejected(self):
+        # Engine state is single-shot; a second run() must fail loudly
+        # rather than return garbage.
+        compiled = registry_compiled("bcast_opt", 4, 4096)
+        engine = ReplayEngine(Machine(hornet(), nranks=4), compiled)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run()

@@ -132,13 +132,17 @@ class TestDifferential:
         spec = hornet(nodes=4)
         times = {}
         for mode in ("incremental", "reference"):
+            # Force the DES: this differential is about its two solver
+            # implementations, not the replay engine's data plane.
             os.environ["REPRO_SOLVER"] = mode
+            os.environ["REPRO_ENGINE"] = "des"
             try:
                 rec = simulate_bcast(
                     spec, 8, 65536, algorithm="scatter_ring_opt"
                 )
             finally:
                 del os.environ["REPRO_SOLVER"]
+                del os.environ["REPRO_ENGINE"]
             times[mode] = rec.time
             assert rec.solver_mode == mode
         assert times["incremental"] == times["reference"]
