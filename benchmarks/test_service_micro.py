@@ -1,0 +1,146 @@
+"""Simulation-service microbenchmark: warm worker pool vs cold one-shot.
+
+Runs the fig6b grid (P=64 on hornet, ``scatter_ring_native`` vs
+``scatter_ring_opt`` across the paper's size axis) two ways, both with
+the record cache disabled so every point is really simulated:
+
+* **cold** — each point computed as a one-shot run: the process-wide
+  dispatch memo and the shared solve-memo store are cleared before every
+  point, the way a fresh ``python -m repro sweep`` process would start.
+  (Interpreter startup is *not* charged to this side, so the measured
+  ratio understates the real CLI gap.)
+* **warm** — the whole grid submitted as one batch to a live
+  :class:`~repro.service.SimulationServer` whose persistent worker has
+  already served the grid once, so its schedule and solve memos are hot.
+
+Every record first asserts *bitwise* equality across cold, first-pass
+and warm-pass service runs — memo warmth must never change a record.
+The CI bar is on the cold/warm throughput ratio; the full trajectory is
+recorded in ``benchmarks/results/service_micro.txt`` (and the
+real-subprocess version of the experiment in ``BENCH_service.json``).
+
+Honours ``REPRO_BENCH_FAST`` (trims the size axis) like every other
+bench.
+"""
+
+import threading
+from time import perf_counter
+
+from repro.bench import fast_mode
+from repro.bench.figures import FIG6_SIZES, NATIVE, OPT
+from repro.core import api
+from repro.core.api import simulate_bcast
+from repro.core.sweep import SweepPoint
+from repro.machine import hornet
+from repro.service import ServiceClient, SimulationServer
+from repro.sim.replay import clear_solve_memo
+
+from conftest import publish
+
+#: fig6b axes: P=64 on a 16-node hornet, both ring designs.
+NRANKS = 64
+NODES = 16
+SIZES = [FIG6_SIZES[0], FIG6_SIZES[-1]] if fast_mode() else FIG6_SIZES
+#: CI acceptance bar on the cold/warm wall-time ratio. The full grid
+#: re-solves more structures per point, so it clears a higher bar.
+RATIO_BAR = 2.0 if fast_mode() else 3.0
+
+
+def _grid():
+    return [
+        SweepPoint(algo, NRANKS, nbytes)
+        for algo in (NATIVE, OPT)
+        for nbytes in SIZES
+    ]
+
+
+def _go_cold():
+    """Reset every cross-run memo, as a fresh process would start."""
+    clear_solve_memo()
+    api._REPLAY_MEMO.clear()
+
+
+def _cold_pass(spec, points):
+    """One-shot baseline: every point pays full schedule + solve cost."""
+    records, total = [], 0.0
+    for point in points:
+        _go_cold()
+        t0 = perf_counter()
+        records.append(
+            simulate_bcast(
+                spec,
+                nranks=point.nranks,
+                nbytes=point.nbytes,
+                algorithm=point.algorithm,
+            )
+        )
+        total += perf_counter() - t0
+    return total, records
+
+
+def _service_pass(client, spec, points):
+    outcomes = dict(client.sweep(spec, points, cache=False))
+    records = []
+    for i in range(len(points)):
+        status, payload = outcomes[i][0], outcomes[i][1]
+        assert status == "ok", outcomes[i]
+        records.append(payload)
+    return records
+
+
+def test_service_warm_vs_cold_micro(benchmark, tmp_path):
+    spec = hornet(nodes=NODES)
+    points = _grid()
+
+    t_cold, cold = _cold_pass(spec, points)
+
+    srv = SimulationServer(jobs=1, state_file=tmp_path / "service.json")
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(srv.host, srv.port)
+        t0 = perf_counter()
+        first = _service_pass(client, spec, points)  # warms the worker
+        t_first = perf_counter() - t0
+
+        t_warm, warm = float("inf"), None
+        for _ in range(2):
+            t0 = perf_counter()
+            warm = _service_pass(client, spec, points)
+            t_warm = min(t_warm, perf_counter() - t0)
+    finally:
+        srv.request_shutdown()
+        thread.join(timeout=60)
+
+    # Equality first: a fast wrong answer is worthless. Dataclass
+    # equality already skips the non-compared solver_time_s wall clock.
+    assert first == cold
+    assert warm == cold
+
+    ratio = t_cold / t_warm
+    rows = [
+        f"Service micro (fig6b grid: P={NRANKS}, {len(points)} points, "
+        "hornet, cache off):",
+        f"  {'pass':>12} {'total s':>8} {'s/point':>8}",
+        f"  {'cold 1-shot':>12} {t_cold:>8.3f} {t_cold / len(points):>8.3f}",
+        f"  {'service 1st':>12} {t_first:>8.3f} {t_first / len(points):>8.3f}",
+        f"  {'service warm':>12} {t_warm:>8.3f} {t_warm / len(points):>8.3f}",
+        f"  warm-pool throughput ratio vs cold: {ratio:.2f}x",
+    ]
+    publish("service_micro", "\n".join(rows))
+    assert ratio >= RATIO_BAR, (t_cold, t_warm, ratio)
+
+    # Representative single point for pytest-benchmark: a cold largest
+    # cell (what one sweep point costs without any service help).
+    largest = points[-1]
+    _go_cold()
+    benchmark.pedantic(
+        lambda: simulate_bcast(
+            spec,
+            nranks=largest.nranks,
+            nbytes=largest.nbytes,
+            algorithm=largest.algorithm,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -20,6 +20,10 @@ Commands cover the common workflows without writing a script:
   replay engine must reproduce the DES bitwise (makespan, per-rank
   finish times, every wire counter); single point by default,
   ``--grid`` covers the registry (``--strict`` for nonzero exit);
+* ``serve``   — start the persistent simulation service: a warm worker
+  pool plus the sharded result cache behind a local TCP socket, so
+  repeated sweeps skip process start-up and share hot solver memos
+  (``--status`` pings a running server, ``--stop`` shuts one down);
 * ``bench-report`` — print every ``BENCH_*.json`` performance
   trajectory file as one table;
 * ``trace``   — simulate one collective with tracing and report the
@@ -31,12 +35,21 @@ Commands cover the common workflows without writing a script:
 ``sweep`` and ``figure`` accept ``--jobs N`` to fan points out over N
 worker processes (``0`` = one per CPU) and use the on-disk result cache
 by default (``--no-cache`` bypasses it, ``--cache-dir`` relocates it).
+With a ``repro serve`` instance running, ``--serve`` (or
+``REPRO_SERVE=auto``) submits the points to its warm pool instead;
+``--serve HOST:PORT`` names a server explicitly and fails if it is
+unreachable, while auto-discovery falls back to the in-process path.
+The verify/cost/chaos/replay grid gates take the same flag and run
+server-side when it is given.
 
 Examples::
 
     python -m repro compare --nranks 64 --nbytes 1MiB
     python -m repro sweep --nranks 129 --sizes 12KiB,64KiB,512KiB,1MiB --jobs 4
     python -m repro figure --id fig6b --jobs 0
+    python -m repro serve --jobs 0          # then: sweep/figure --serve
+    python -m repro serve --status
+    python -m repro figure --id fig6b --serve
     python -m repro traffic --procs 8,10,16,64
     python -m repro verify --collective bcast_native --nranks 8
     python -m repro verify --nranks 2,5,8,10,16 --json
@@ -57,6 +70,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+from .errors import ServiceUnavailableError
 
 from .core import (
     DiskCache,
@@ -212,6 +227,23 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    _add_serve_arg(p)
+
+
+def _add_serve_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--serve",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="ADDR",
+        help=(
+            "submit to a running simulation server (`repro serve`); bare "
+            "--serve auto-discovers one and falls back in-process, an "
+            "explicit HOST:PORT or state-file path fails if unreachable "
+            "(default: follow $REPRO_SERVE)"
+        ),
+    )
 
 
 def _exec_cache(args):
@@ -229,7 +261,7 @@ def cmd_sweep(args) -> int:
         faults=_faults(args),
     )
     cache = _exec_cache(args)
-    records = sweep.run(jobs=args.jobs, cache=cache)
+    records = sweep.run(jobs=args.jobs, cache=cache, serve=args.serve)
     print(
         sweep.to_table(
             args.nranks,
@@ -266,7 +298,7 @@ def cmd_figure(args) -> int:
     }
     exp = factories[args.id]()
     cache = _exec_cache(args)
-    exp.run(jobs=args.jobs, cache=cache)
+    exp.run(jobs=args.jobs, cache=cache, serve=args.serve)
     if args.id == "fig7":
         print(render_speedup_table(exp))
     else:
@@ -282,10 +314,120 @@ def cmd_cache(args) -> int:
     cache = DiskCache(args.cache_dir)
     if args.clear:
         removed = cache.invalidate()
-        print(f"cleared {removed} cached record(s) from {cache.file}")
+        print(f"cleared {removed} cached record(s) from {cache.dir}")
+    elif args.migrate:
+        moved = cache.migrate()
+        print(f"migrated {moved} legacy record(s) into {cache.shard_dir}")
     else:
-        print(f"{cache.file}: {len(cache)} record(s)")
+        shards = (
+            len(list(cache.shard_dir.glob("*.jsonl")))
+            if cache.shard_dir.is_dir()
+            else 0
+        )
+        legacy = " + a legacy file (run --migrate)" if cache.file.exists() else ""
+        print(
+            f"{cache.dir}: {len(cache)} record(s) in {shards} shard(s){legacy}"
+        )
     return 0
+
+
+def cmd_serve(args) -> int:
+    import os
+    import signal
+
+    from .errors import ServiceError
+    from .service import ServiceClient, SimulationServer
+    from .service.protocol import read_state, state_file_path
+
+    if args.status or args.stop:
+        state = state_file_path(args.state_file)
+        located = read_state(state)
+        if located is None:
+            print(f"no server state file at {state}", file=sys.stderr)
+            return 1
+        client = ServiceClient(*located)
+        if args.stop:
+            if client.shutdown_server():
+                print(f"server at {client.address} shutting down")
+                return 0
+            print(f"no server answered at {client.address}", file=sys.stderr)
+            return 1
+        try:
+            pong = client.ping(timeout=2.0)
+            stats = client.stats()
+        except (OSError, ServiceError) as exc:
+            print(
+                f"no server answered at {client.address}: {exc}", file=sys.stderr
+            )
+            return 1
+        print(
+            f"server at {client.address}: pid {pong['pid']}, "
+            f"{pong['workers']} worker(s)"
+        )
+        print(
+            f"  uptime {stats['uptime_s']:.0f}s, {stats['jobs']} job(s), "
+            f"{stats['points']} point(s) served"
+        )
+        if stats.get("cache"):
+            c = stats["cache"]
+            print(
+                f"  cache: {c['entries']} entries, {c['hits']} hit(s), "
+                f"{c['stores']} store(s)"
+            )
+        return 0
+
+    server = SimulationServer(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache=_exec_cache(args),
+        state_file=args.state_file,
+    )
+
+    def _shutdown(signum, frame):  # noqa: ARG001 - signal handler signature
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    print(
+        f"simulation server listening on {server.address} "
+        f"(pid {os.getpid()}, {server.jobs} worker(s))",
+        flush=True,
+    )
+    server.serve_forever()
+    print("server stopped")
+    return 0
+
+
+def _gate_via_service(args, gate: str, params: dict, spec=None, strict=None):
+    """Run a grid gate on the simulation service when ``--serve`` asks.
+
+    Returns the exit code when the gate ran server-side, ``None`` when
+    the request should proceed locally (no ``--serve``, or
+    auto-discovery found no server).
+    """
+    if getattr(args, "serve", None) is None:
+        return None
+    import json as _json
+
+    from .service import protocol as _sproto
+    from .service.client import connect_or_none
+
+    client = connect_or_none(args.serve)
+    if client is None:
+        return None
+    if spec is not None:
+        params = {**params, "spec": _sproto.encode_spec(spec)}
+    with client:
+        reply = client.gate(gate, params)
+    if getattr(args, "json", False):
+        print(_json.dumps(reply.get("report"), indent=2))
+    else:
+        print(reply.get("text", ""))
+    ok = bool(reply.get("ok"))
+    if strict is None:
+        strict = True
+    return (1 if not ok else 0) if strict else 0
 
 
 def cmd_traffic(args) -> int:
@@ -351,6 +493,23 @@ def cmd_verify(args) -> int:
 
     nbytes = parse_size(args.nbytes)
     ranks = [int(p) for p in args.nranks.split(",")]
+    if args.collective == "all":
+        # Route the whole-registry grid to a simulation server when asked.
+        # The cost-model consistency pass always runs locally afterwards
+        # via the normal path, so a routed verify covers schedules only.
+        code = _gate_via_service(
+            args,
+            "verify",
+            {
+                "ranks": ranks,
+                "nbytes": nbytes,
+                "root": args.root,
+                "strict": args.strict,
+                "rendezvous": not args.no_rendezvous,
+            },
+        )
+        if code is not None:
+            return code
     reports = []
     for nranks in ranks:
         if args.collective == "all":
@@ -457,6 +616,15 @@ def cmd_cost(args) -> int:
         args.machine = "ideal" if args.grid else "hornet"
     spec = _spec(args)
     if args.grid:
+        code = _gate_via_service(
+            args,
+            "cost",
+            {"placement": args.placement, "band": args.band},
+            spec=spec,
+            strict=args.strict,
+        )
+        if code is not None:
+            return code
         report = differential_gate(
             spec=spec,
             placement=args.placement,
@@ -531,6 +699,15 @@ def cmd_chaos(args) -> int:
         args.machine = "ideal"
     spec = _spec(args)
     if args.grid:
+        code = _gate_via_service(
+            args,
+            "chaos",
+            {"seed": args.seed, "nbytes": parse_size(args.nbytes)},
+            spec=spec,
+            strict=args.strict,
+        )
+        if code is not None:
+            return code
         collectives = None
         ranks = DEFAULT_RANKS
     else:
@@ -588,6 +765,9 @@ def cmd_replay(args) -> int:
 
     spec = _spec(args)
     if args.grid:
+        code = _gate_via_service(args, "replay", {}, spec=spec, strict=args.strict)
+        if code is not None:
+            return code
         report = replay_gate(
             spec=spec, ranks=DEFAULT_RANKS, sizes=DEFAULT_SIZES, progress=None
         )
@@ -652,6 +832,21 @@ def cmd_bench_report(args) -> int:
                 continue
             table.add_row(key, data[key])
         print(table)
+        cpu_count = data.get("cpu_count")
+        # Only *parallel* speedups (jobs=N fan-out) are meaningless on a
+        # 1-CPU host; algorithmic speedups (solver, replay, warm memos)
+        # stay valid regardless of core count.
+        speedup_keys = sorted(
+            k
+            for k in data
+            if "speedup" in k and ("jobs" in k or "parallel" in k)
+        )
+        if isinstance(cpu_count, int) and cpu_count <= 1 and speedup_keys:
+            print(
+                f"  WARNING: recorded on a {cpu_count}-CPU host — parallel "
+                f"speedup column(s) {', '.join(speedup_keys)} measure pool "
+                f"overhead, not scaling"
+            )
         notes = data.get("notes", "")
         if notes and args.notes:
             print(f"  notes: {notes}")
@@ -778,7 +973,58 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cache", help="inspect or clear the sweep-result cache")
     p.add_argument("--cache-dir", default=None, help="cache directory override")
     p.add_argument("--clear", action="store_true", help="delete all cached records")
+    p.add_argument(
+        "--migrate",
+        action="store_true",
+        help="fold a legacy single-file cache into the sharded layout",
+    )
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service (warm pool + shared cache)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = auto-assign, advertised in the state file)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (default: 0 = one per CPU)",
+    )
+    p.add_argument(
+        "--state-file",
+        default=None,
+        help="where to advertise host/port/pid (default: <cache-dir>/service.json)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the shared on-disk result cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--status",
+        action="store_true",
+        help="ping the advertised server and print its stats",
+    )
+    p.add_argument(
+        "--stop",
+        action="store_true",
+        help="ask the advertised server to shut down",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("traffic", help="transfer-count table for process counts")
     p.add_argument("--procs", default="8,10,16,64", help="comma-separated P values")
@@ -816,6 +1062,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the cost-model consistency pass",
     )
+    _add_serve_arg(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -862,6 +1109,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    _add_serve_arg(p)
     p.set_defaults(func=cmd_cost)
 
     p = sub.add_parser(
@@ -900,6 +1148,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    _add_serve_arg(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -935,6 +1184,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    _add_serve_arg(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
@@ -997,7 +1247,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ServiceUnavailableError as exc:
+        # An explicitly requested server that is not there is a usage
+        # error (exit 2), not a crash: print the actionable one-liner.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ from .model import (
 from .fitting import FittedModel, fit_alpha_beta, characterize
 from .regimes import RegimeCell, regime_map, selector_agreement
 from .sweep import Sweep, SweepPoint
-from .executor import SweepExecutor, resolve_jobs
+from .executor import SweepExecutor, group_points, resolve_jobs
 from .diskcache import DiskCache, CacheStats, cache_key, default_cache_dir
 
 __all__ = [
@@ -67,6 +67,7 @@ __all__ = [
     "SweepPoint",
     "SweepExecutor",
     "resolve_jobs",
+    "group_points",
     "DiskCache",
     "CacheStats",
     "cache_key",

@@ -6,12 +6,27 @@ placement) plus the simulator's code version, so its
 processes: re-running a figure bench after the first pass skips every
 already-simulated point.
 
-Storage is a single JSON-lines file (one ``{"key": ..., "record": ...}``
-object per line) under the cache directory — append-only writes, no
-index file, human-greppable. The directory defaults to
-``~/.cache/repro`` (respecting ``XDG_CACHE_HOME``) and can be overridden
-with the ``REPRO_CACHE_DIR`` environment variable or the ``path=``
-argument.
+Storage is *sharded* JSON-lines: records live under ``shards/<xx>.jsonl``
+where ``xx`` is the first two hex digits of the key, one
+``{"key": ..., "record": ...}`` object per line — append-only writes, no
+index file, human-greppable. Sharding keeps two properties the
+single-file layout could not offer at service scale:
+
+* **lazy loading** — a lookup parses only the one shard its key hashes
+  to (1/256th of the store), instead of the whole cache on first use;
+* **concurrent safety** — appends take an exclusive ``flock`` on the
+  shard file and writers touching different shards never contend at
+  all. Readers that miss re-scan just the bytes appended since their
+  last load, so many clients of one long-running simulation service can
+  share a warm cache directory without lost or torn records.
+
+Caches written by older versions (a single ``sweep-records.jsonl``) are
+read transparently and can be folded into the sharded layout with
+:meth:`DiskCache.migrate` (``repro cache --migrate``).
+
+The directory defaults to ``~/.cache/repro`` (respecting
+``XDG_CACHE_HOME``) and can be overridden with the ``REPRO_CACHE_DIR``
+environment variable or the ``path=`` argument.
 
 Keys are SHA-256 hashes over the canonical JSON of every input that can
 change a result, salted with :data:`CACHE_VERSION`. Bump that constant
@@ -34,13 +49,22 @@ from ..sim import solver_mode
 from ..sim.replay import engine_mode
 from .report import RunRecord
 
+try:  # POSIX advisory locking; appends fall back to bare O_APPEND elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix platform
+    fcntl = None  # type: ignore[assignment]
+
 __all__ = ["DiskCache", "CacheStats", "cache_key", "default_cache_dir", "CACHE_VERSION"]
 
 # Code-version salt folded into every key. Bump on any change that
 # alters simulated results (engine semantics, fluid model, algorithms).
-CACHE_VERSION = "2026.08.08.1"
+# 2026.08.08.2: solver_rounds now counts kernel-equivalent rounds on
+# memo hits too (cross-run shared solve memo).
+CACHE_VERSION = "2026.08.08.2"
 
-_CACHE_FILENAME = "sweep-records.jsonl"
+_LEGACY_FILENAME = "sweep-records.jsonl"
+_SHARD_DIR = "shards"
+_PREFIX_LEN = 2  # hex chars -> 256 shards
 
 
 def default_cache_dir() -> Path:
@@ -120,48 +144,121 @@ class CacheStats:
         )
 
 
+def _parse_lines(text: str) -> Dict[str, RunRecord]:
+    """Parse JSON-lines cache content, skipping torn/stale lines."""
+    entries: Dict[str, RunRecord] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+            entries[obj["key"]] = RunRecord(**obj["record"])
+        except (ValueError, KeyError, TypeError):
+            continue  # torn/stale line: ignore, do not crash
+    return entries
+
+
 class DiskCache:
-    """JSON-lines backed RunRecord store keyed by content hash."""
+    """Sharded JSON-lines RunRecord store keyed by content hash."""
 
     def __init__(self, path: Union[str, Path, None] = None):
         self.dir = Path(path).expanduser() if path is not None else default_cache_dir()
-        self.file = self.dir / _CACHE_FILENAME
-        self._entries: Optional[Dict[str, RunRecord]] = None  # lazy-loaded
+        # Pre-sharding single-file layout, still read transparently.
+        self.file = self.dir / _LEGACY_FILENAME
+        self.shard_dir = self.dir / _SHARD_DIR
+        # prefix -> entries; loaded lazily, one shard at a time.
+        self._shards: Dict[str, Dict[str, RunRecord]] = {}
+        # prefix -> bytes of the shard file consumed so far. A miss on a
+        # loaded shard re-reads only the tail another process appended.
+        self._offsets: Dict[str, int] = {}
+        self._legacy: Optional[Dict[str, RunRecord]] = None
         self._hits = 0
         self._misses = 0
         self._stores = 0
 
     # -- persistence --------------------------------------------------
-    def _load(self) -> Dict[str, RunRecord]:
-        if self._entries is not None:
-            return self._entries
-        entries: Dict[str, RunRecord] = {}
-        if self.file.exists():
-            with open(self.file, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        obj = json.loads(line)
-                        entries[obj["key"]] = RunRecord(**obj["record"])
-                    except (ValueError, KeyError, TypeError):
-                        continue  # torn/stale line: ignore, do not crash
-        self._entries = entries
+    @staticmethod
+    def _prefix(key: str) -> str:
+        return key[:_PREFIX_LEN].lower()
+
+    def _shard_path(self, prefix: str) -> Path:
+        return self.shard_dir / f"{prefix}.jsonl"
+
+    def _load_legacy(self) -> Dict[str, RunRecord]:
+        if self._legacy is None:
+            if self.file.exists():
+                self._legacy = _parse_lines(
+                    self.file.read_text(encoding="utf-8")
+                )
+            else:
+                self._legacy = {}
+        return self._legacy
+
+    def _load_shard(self, prefix: str) -> Dict[str, RunRecord]:
+        entries = self._shards.get(prefix)
+        if entries is None:
+            entries = {}
+            path = self._shard_path(prefix)
+            if path.exists():
+                text = path.read_text(encoding="utf-8")
+                self._offsets[prefix] = len(text.encode("utf-8"))
+                entries = _parse_lines(text)
+            else:
+                self._offsets[prefix] = 0
+            self._shards[prefix] = entries
+        return entries
+
+    def _refresh_shard(self, prefix: str) -> Dict[str, RunRecord]:
+        """Pick up lines appended by other processes since our load."""
+        entries = self._load_shard(prefix)
+        path = self._shard_path(prefix)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return entries
+        offset = self._offsets.get(prefix, 0)
+        if size > offset:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                tail = fh.read()
+            # Only complete lines: a concurrent writer may be mid-append.
+            cut = tail.rfind(b"\n") + 1
+            entries.update(_parse_lines(tail[:cut].decode("utf-8")))
+            self._offsets[prefix] = offset + cut
         return entries
 
     def _append(self, key: str, rec: RunRecord) -> None:
-        self.dir.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(
-            {"key": key, "record": dataclasses.asdict(rec)}, sort_keys=True
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        line = (
+            json.dumps({"key": key, "record": dataclasses.asdict(rec)}, sort_keys=True)
+            + "\n"
         )
-        with open(self.file, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        path = self._shard_path(self._prefix(key))
+        # The loaded offset is deliberately NOT advanced past this line:
+        # a concurrent writer may have appended before ours, and skipping
+        # ahead would hide its records. The next refresh re-parses our
+        # own line too, which is a harmless idempotent dict update.
+        with open(path, "a", encoding="utf-8") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.write(line)
+                fh.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     # -- mapping ------------------------------------------------------
     def get(self, key: str) -> Optional[RunRecord]:
         """Cached record for *key*, counting a hit or a miss."""
-        rec = self._load().get(key)
+        prefix = self._prefix(key)
+        rec = self._load_shard(prefix).get(key)
+        if rec is None:
+            # Another process may have stored it since our shard load.
+            rec = self._refresh_shard(prefix).get(key)
+        if rec is None:
+            rec = self._load_legacy().get(key)
         if rec is None:
             self._misses += 1
         else:
@@ -170,26 +267,64 @@ class DiskCache:
 
     def put(self, key: str, rec: RunRecord) -> None:
         """Persist *rec* under *key* (no-op if the key is already stored)."""
-        entries = self._load()
-        if key in entries:
+        prefix = self._prefix(key)
+        entries = self._load_shard(prefix)
+        if key in entries or key in self._load_legacy():
             return
         entries[key] = rec
         self._append(key, rec)
         self._stores += 1
 
+    def _all_entries(self) -> Dict[str, RunRecord]:
+        entries: Dict[str, RunRecord] = dict(self._load_legacy())
+        if self.shard_dir.is_dir():
+            for path in sorted(self.shard_dir.glob("*.jsonl")):
+                entries.update(self._refresh_shard(path.stem))
+        return entries
+
     def __len__(self) -> int:
-        return len(self._load())
+        return len(self._all_entries())
 
     def __contains__(self, key: str) -> bool:
-        return key in self._load()
+        prefix = self._prefix(key)
+        return key in self._load_shard(prefix) or key in self._load_legacy()
 
     # -- maintenance --------------------------------------------------
-    def invalidate(self) -> int:
-        """Drop every stored record; returns how many were removed."""
-        removed = len(self._load())
-        self._entries = {}
+    def migrate(self) -> int:
+        """Fold a legacy single-file cache into the sharded layout.
+
+        Returns how many records moved. Safe to call on an already
+        sharded (or empty) cache — it is then a no-op.
+        """
+        legacy = self._load_legacy()
+        moved = 0
+        for key, rec in legacy.items():
+            prefix = self._prefix(key)
+            entries = self._load_shard(prefix)
+            if key not in entries:
+                entries[key] = rec
+                self._append(key, rec)
+                moved += 1
         if self.file.exists():
             self.file.unlink()
+        self._legacy = {}
+        return moved
+
+    def invalidate(self) -> int:
+        """Drop every stored record; returns how many were removed."""
+        removed = len(self._all_entries())
+        self._shards = {}
+        self._offsets = {}
+        self._legacy = {}
+        if self.file.exists():
+            self.file.unlink()
+        if self.shard_dir.is_dir():
+            for path in self.shard_dir.glob("*.jsonl"):
+                path.unlink()
+            try:
+                self.shard_dir.rmdir()
+            except OSError:  # pragma: no cover - foreign files present
+                pass
         return removed
 
     clear = invalidate
@@ -199,8 +334,8 @@ class DiskCache:
             hits=self._hits,
             misses=self._misses,
             stores=self._stores,
-            entries=len(self._load()),
+            entries=len(self._all_entries()),
         )
 
     def __repr__(self) -> str:
-        return f"<DiskCache {self.file} {self.stats().describe()}>"
+        return f"<DiskCache {self.dir} {self.stats().describe()}>"

@@ -1,22 +1,29 @@
-"""Parallel sweep execution over a process pool.
+"""Parallel sweep execution over a process pool or the simulation service.
 
 Each sweep point is an independent pure simulation, so the cross product
 behind a figure is embarrassingly parallel. :class:`SweepExecutor` fans
-points out over a :class:`concurrent.futures.ProcessPoolExecutor` and
-guarantees:
+points out over a :class:`concurrent.futures.ProcessPoolExecutor` — or,
+when a persistent simulation server is up (``repro serve``), submits
+them to its warm worker pool — and guarantees:
 
 * **deterministic ordering** — results come back in the order the points
   were given, regardless of worker completion order;
 * **identical records** — workers run the same ``simulate_bcast`` as the
-  serial path, so ``jobs=1`` and ``jobs=N`` produce equal
+  serial path, so ``jobs=1``, ``jobs=N`` and the service produce equal
   :class:`~repro.core.report.RunRecord` rows;
 * **faithful failures** — a worker exception is captured worker-side and
   re-raised in the parent as
-  :class:`~repro.errors.SweepExecutionError` with the offending point
-  attached (arbitrary exceptions do not always survive pickling);
+  :class:`~repro.errors.SweepExecutionError` (service-side:
+  :class:`~repro.errors.ServiceJobError`, a subclass) with the offending
+  point attached (arbitrary exceptions do not always survive pickling);
 * **cache integration** — an optional
   :class:`~repro.core.diskcache.DiskCache` is consulted before
-  simulating and populated afterwards, so only cold points cost CPU.
+  simulating and populated afterwards, so only cold points cost CPU;
+* **memo-friendly batching** — cold points are grouped by
+  ``(algorithm, nranks)`` before fan-out and each group runs start to
+  finish inside one worker, so the process-wide schedule/compile/solve
+  memos hit across the group's size axis instead of being scattered
+  over the pool.
 
 ``jobs=1`` (the default) never spawns processes — it is the exact serial
 path the sweep driver always had, kept as the fallback for environments
@@ -28,7 +35,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import traceback
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import SweepExecutionError
 from ..machine import MachineSpec
@@ -36,7 +43,7 @@ from .api import simulate_bcast
 from .diskcache import DiskCache, cache_key
 from .report import RunRecord
 
-__all__ = ["SweepExecutor", "resolve_jobs"]
+__all__ = ["SweepExecutor", "resolve_jobs", "group_points"]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -47,6 +54,16 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay the heavy imports at worker birth, not on
+    the first submitted batch (under ``spawn`` start methods the child
+    would otherwise re-import numpy + the collectives registry inside
+    the first job's critical path)."""
+    from .. import collectives  # noqa: F401
+    from ..sim import replay  # noqa: F401
+    from . import api  # noqa: F401
 
 
 def _simulate_point(task):
@@ -73,12 +90,66 @@ def _simulate_point(task):
         return ("err", type(exc).__name__, str(exc), traceback.format_exc())
 
 
-class SweepExecutor:
-    """Run sweep points serially or across a process pool, with caching."""
+def _simulate_batch(tasks: Sequence[tuple]) -> List[tuple]:
+    """Worker entry point for one memo-coherent batch of points.
 
-    def __init__(self, jobs: Optional[int] = 1, cache: Optional[DiskCache] = None):
+    Each point is wrapped individually, so one failing point never takes
+    its batch siblings down with it.
+    """
+    return [_simulate_point(task) for task in tasks]
+
+
+def group_points(points: Sequence, indices: Sequence[int], workers: int) -> List[List[int]]:
+    """Partition *indices* into batches that keep worker memos hot.
+
+    Points sharing ``(algorithm, nranks)`` extract/compile the same
+    schedule family and solve the same contention structures, so they
+    are batched together (in submission order, preserving the size
+    axis). When that yields fewer batches than *workers*, the largest
+    batches are split in half until the pool is saturated — memo
+    coherence is worth nothing if half the workers sit idle.
+    Deterministic: depends only on the points, their order and *workers*.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    order: List[tuple] = []
+    for i in indices:
+        key = (points[i].algorithm, points[i].nranks)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    batches = [groups[key] for key in order]
+    while len(batches) < workers:
+        largest = max(range(len(batches)), key=lambda b: len(batches[b]))
+        batch = batches[largest]
+        if len(batch) <= 1:
+            break
+        mid = (len(batch) + 1) // 2
+        batches[largest : largest + 1] = [batch[:mid], batch[mid:]]
+    return batches
+
+
+class SweepExecutor:
+    """Run sweep points serially, across a process pool, or on the
+    persistent simulation service — with caching throughout.
+
+    ``serve`` selects the service routing: ``None`` (default) submits to
+    a server only when ``REPRO_SERVE`` asks for one and falls back to
+    the in-process path when none is up; ``False`` never uses a server;
+    an explicit address (``"host:port"``, a state-file path, or
+    ``"auto"``) requires one and raises
+    :class:`~repro.errors.ServiceUnavailableError` when unreachable.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Optional[DiskCache] = None,
+        serve=None,
+    ):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.serve = serve
 
     # -- internals -----------------------------------------------------
     @staticmethod
@@ -94,21 +165,74 @@ class SweepExecutor:
         records: List[Optional[RunRecord]] = [None] * len(tasks)
         failures: dict = {}  # index -> SweepExecutionError
         workers = min(self.jobs, len(tasks))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        batches = group_points(
+            [task[1] for task in tasks], list(range(len(tasks))), workers
+        )
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, initializer=_warm_worker
+        ) as pool:
             futures = {
-                pool.submit(_simulate_point, task): i for i, task in enumerate(tasks)
+                pool.submit(_simulate_batch, [tasks[i] for i in batch]): batch
+                for batch in batches
             }
             for fut in concurrent.futures.as_completed(futures):
-                i = futures[fut]
-                try:
-                    records[i] = self._unwrap(fut.result(), points[i])
-                except SweepExecutionError as exc:
-                    failures[i] = exc  # drain the rest, then raise
+                batch = futures[fut]
+                for i, outcome in zip(batch, fut.result()):
+                    try:
+                        records[i] = self._unwrap(outcome, points[i])
+                    except SweepExecutionError as exc:
+                        failures[i] = exc  # drain the rest, then raise
         if failures:
             # Deterministic choice regardless of completion order: the
             # failure at the earliest point index.
             raise failures[min(failures)]
         return records  # type: ignore[return-value]
+
+    def _run_service(
+        self, client, spec, points: Sequence, cold: Sequence[int],
+        root, placement, faults, reliable,
+    ) -> List[RunRecord]:
+        """Submit the cold points to a live server, index-aligned."""
+        from ..errors import ServiceJobError
+
+        records: List[Optional[RunRecord]] = [None] * len(cold)
+        failures: dict = {}
+        for local, outcome in client.sweep(
+            spec,
+            [points[i] for i in cold],
+            root=root,
+            placement=placement,
+            faults=faults,
+            reliable=reliable,
+            # A cache-bypassing run must bypass the server's cache too,
+            # or "cold" points could come back warm.
+            cache=self.cache is not None,
+        ):
+            if outcome[0] == "ok":
+                records[local] = outcome[1]
+            else:
+                _, error_type, message, tb = outcome
+                failures[local] = ServiceJobError(
+                    points[cold[local]], error_type, message, tb
+                )
+        if failures:
+            raise failures[min(failures)]
+        missing = [i for i, rec in enumerate(records) if rec is None]
+        if missing:
+            raise ServiceJobError(
+                points[cold[missing[0]]],
+                "ServiceError",
+                f"server returned no result for {len(missing)} point(s)",
+            )
+        return records  # type: ignore[return-value]
+
+    def _service_client(self):
+        """A connected client per the ``serve`` policy, or ``None``."""
+        if self.serve is False:
+            return None
+        from ..service.client import connect_or_none
+
+        return connect_or_none(self.serve)
 
     # -- API -----------------------------------------------------------
     def run(
@@ -148,9 +272,15 @@ class SweepExecutor:
             if results[i] is None:
                 cold.append(i)
 
-        # Simulate the cold points, serially or fanned out.
+        # Simulate the cold points: service, pool fan-out, or serial.
         tasks = [(spec, points[i], root, placement, faults, reliable) for i in cold]
-        if self.jobs == 1 or len(cold) <= 1:
+        client = self._service_client() if cold else None
+        if client is not None:
+            with client:
+                fresh = self._run_service(
+                    client, spec, points, cold, root, placement, faults, reliable
+                )
+        elif self.jobs == 1 or len(cold) <= 1:
             fresh = [
                 self._unwrap(_simulate_point(task), points[i])
                 for task, i in zip(tasks, cold)

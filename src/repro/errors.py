@@ -22,6 +22,9 @@ __all__ = [
     "CollectiveError",
     "ConfigurationError",
     "SweepExecutionError",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "ServiceJobError",
 ]
 
 
@@ -146,3 +149,36 @@ class SweepExecutionError(ReproError):
         if worker_traceback:
             detail += f"\n--- worker traceback ---\n{worker_traceback}"
         super().__init__(detail)
+
+
+class ServiceError(ReproError):
+    """Base class for simulation-service (``repro serve``) failures."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """No simulation server answered at the requested address.
+
+    Raised when ``--serve``/``REPRO_SERVE`` names a server explicitly
+    and nothing is listening there (auto-discovery without an explicit
+    address falls back to the in-process path instead of raising).
+    """
+
+    def __init__(self, address: str, reason: str = "") -> None:
+        self.address = address
+        detail = f"no simulation server reachable at {address}"
+        if reason:
+            detail += f": {reason}"
+        detail += " (start one with `python -m repro serve`)"
+        super().__init__(detail)
+
+
+class ServiceJobError(SweepExecutionError, ServiceError):
+    """A job failed inside the simulation service.
+
+    Subclasses :class:`SweepExecutionError` so sweep drivers handle
+    service-side and worker-side failures uniformly: the offending point
+    (``.point``), original exception class name (``.error_type``) and
+    server-side traceback text (``.worker_traceback``) all survive the
+    wire.
+    """
+

@@ -1,0 +1,302 @@
+"""Thin client for the persistent simulation service.
+
+:class:`ServiceClient` turns a live ``repro serve`` instance into a
+drop-in replacement for in-process simulation: :meth:`ServiceClient.sweep`
+streams ``(index, outcome)`` pairs exactly shaped like the executor's
+worker outcomes, so :class:`~repro.core.executor.SweepExecutor` treats a
+server and a local pool identically.
+
+Discovery policy (:func:`resolve_address` / :func:`connect_or_none`):
+
+======================  =========================  =====================
+``serve`` argument       where the address comes    when nothing answers
+                         from
+======================  =========================  =====================
+``False``                —                          never connects
+``None`` (default)       ``REPRO_SERVE`` env var    silent fallback to
+                         (unset/``0``/``off`` →     the in-process path
+                         never connects)
+``True``/``"auto"``      state file under the       silent fallback
+                         cache dir
+``"host:port"``          the literal address        raises
+                                                    :class:`~repro.errors.\
+ServiceUnavailableError`
+``"/path/to/state"``     that state file            raises
+======================  =========================  =====================
+
+so exported pipelines can set ``REPRO_SERVE=auto`` and keep working with
+no server up, while an explicit ``--serve ADDR`` fails loudly instead of
+silently simulating in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..errors import ServiceError, ServiceUnavailableError
+from . import protocol
+
+__all__ = [
+    "ServiceClient",
+    "ResolvedService",
+    "resolve_address",
+    "connect_or_none",
+    "SERVE_ENV",
+]
+
+SERVE_ENV = "REPRO_SERVE"
+
+# Env/flag values meaning "do not use a service" / "discover one".
+_OFF_VALUES = frozenset({"", "0", "off", "no", "false", "none"})
+_AUTO_VALUES = frozenset({"1", "auto", "on", "true"})
+
+# How long a discovery ping may take before we declare the server absent.
+PING_TIMEOUT_S = 2.0
+
+
+@dataclass(frozen=True)
+class ResolvedService:
+    """Outcome of the discovery policy for one ``serve`` argument."""
+
+    host: str
+    port: int
+    explicit: bool  # explicit → unreachable raises instead of falling back
+    source: str  # human-readable provenance for error messages
+
+
+def _parse_address(value: str, explicit: bool) -> Optional[ResolvedService]:
+    """``host:port`` or a state-file path → :class:`ResolvedService`."""
+    host, sep, port = value.rpartition(":")
+    if sep and port.isdigit() and "/" not in port:
+        return ResolvedService(host or "127.0.0.1", int(port), explicit, value)
+    state = protocol.state_file_path(value)
+    located = protocol.read_state(state)
+    if located is None:
+        if explicit:
+            raise ServiceUnavailableError(value, "no usable state file")
+        return None
+    return ResolvedService(located[0], located[1], explicit, value)
+
+
+def _auto_resolve() -> Optional[ResolvedService]:
+    """Default state file → address, or ``None`` when no server advertised."""
+    state = protocol.state_file_path(None)
+    located = protocol.read_state(state)
+    if located is None:
+        return None
+    return ResolvedService(located[0], located[1], False, str(state))
+
+
+def resolve_address(serve=None) -> Optional[ResolvedService]:
+    """Apply the discovery policy; ``None`` means "stay in-process"."""
+    if serve is False:
+        return None
+    if serve is None:
+        env = os.environ.get(SERVE_ENV, "").strip()
+        if env.lower() in _OFF_VALUES:
+            return None
+        if env.lower() in _AUTO_VALUES:
+            return _auto_resolve()
+        return _parse_address(env, explicit=False)
+    if serve is True:
+        return _auto_resolve()
+    value = str(serve).strip()
+    if value.lower() in _AUTO_VALUES:
+        return _auto_resolve()
+    if value.lower() in _OFF_VALUES:
+        return None
+    if isinstance(serve, Path):
+        return _parse_address(str(serve), explicit=True)
+    return _parse_address(value, explicit=True)
+
+
+def connect_or_none(serve=None) -> Optional["ServiceClient"]:
+    """A pinged :class:`ServiceClient` per the policy, or ``None``.
+
+    Auto-discovered servers that fail the ping fall back silently
+    (returns ``None``); explicitly named servers raise
+    :class:`~repro.errors.ServiceUnavailableError`.
+    """
+    resolved = resolve_address(serve)
+    if resolved is None:
+        return None
+    client = ServiceClient(resolved.host, resolved.port)
+    try:
+        client.ping(timeout=PING_TIMEOUT_S)
+        return client
+    except ServiceUnavailableError:
+        if resolved.explicit:
+            raise
+        return None
+    except (OSError, ServiceError) as exc:
+        if resolved.explicit:
+            raise ServiceUnavailableError(resolved.source, str(exc)) from exc
+        return None
+
+
+class ServiceClient:
+    """One simulation server, addressed by host and port.
+
+    Connections are per-request (the protocol is one request, one
+    response stream, close), so a client object is cheap, reusable and
+    safe to keep around across many sweeps.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = int(port)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # The executor drives clients through a ``with`` block; per-request
+    # connections mean there is nothing to tear down.
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """No persistent connection to close; kept for symmetry."""
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, msg: dict, timeout: Optional[float] = None):
+        """Open a connection, send *msg*, yield response messages."""
+        try:
+            sock = protocol.open_connection(self.host, self.port, timeout)
+        except OSError as exc:
+            raise ServiceUnavailableError(self.address, str(exc)) from exc
+        try:
+            with sock, sock.makefile("rwb") as stream:
+                protocol.write_message(stream, msg)
+                sock.shutdown(socket.SHUT_WR)
+                while True:
+                    reply = protocol.read_message(stream)
+                    if reply is None:
+                        return
+                    yield reply
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to simulation server {self.address} failed "
+                f"mid-request: {exc}"
+            ) from exc
+
+    def _request_one(self, msg: dict, timeout: Optional[float] = None) -> dict:
+        for reply in self._request(msg, timeout=timeout):
+            return reply
+        raise ServiceError(
+            f"simulation server {self.address} closed the connection "
+            f"without answering {msg.get('op')!r}"
+        )
+
+    # -- operations ----------------------------------------------------
+    def ping(self, timeout: Optional[float] = None) -> dict:
+        """Round-trip liveness + version check; returns the pong payload."""
+        pong = self._request_one({"op": "ping"}, timeout=timeout)
+        if pong.get("type") != "pong":
+            raise ServiceError(
+                f"unexpected ping reply from {self.address}: {pong!r}"
+            )
+        version = pong.get("version")
+        if version != protocol.PROTOCOL_VERSION:
+            raise ServiceError(
+                f"simulation server {self.address} speaks protocol "
+                f"{version!r}, client needs {protocol.PROTOCOL_VERSION}"
+            )
+        return pong
+
+    def stats(self) -> dict:
+        """Server-side counters (jobs/points served, cache stats, uptime)."""
+        return self._request_one({"op": "stats"})
+
+    def sweep(
+        self,
+        spec,
+        points: Sequence,
+        root: int = 0,
+        placement="blocked",
+        faults=None,
+        reliable=None,
+        cache: bool = True,
+    ) -> Iterator[Tuple[int, tuple]]:
+        """Stream ``(index, outcome)`` pairs for *points*, completion order.
+
+        Outcomes mirror the executor's worker protocol:
+        ``("ok", RunRecord)`` or ``("err", error_type, message, tb)``.
+        Indices refer to positions in *points*. ``placement`` must be a
+        named strategy (strings travel the wire; explicit node maps do
+        not) — the executor only routes string placements to a server.
+        """
+        msg = {
+            "op": "sweep",
+            "spec": protocol.encode_spec(spec),
+            "points": protocol.encode_points(points),
+            "root": int(root),
+            "placement": placement,
+            "faults": protocol.encode_faults(faults),
+            "reliable": protocol.encode_reliable(reliable),
+            "cache": bool(cache),
+        }
+        seen = 0
+        for reply in self._request(msg):
+            kind = reply.get("type")
+            if kind == "result":
+                yield (
+                    int(reply["index"]),
+                    ("ok", protocol.decode_record(reply["record"])),
+                )
+                seen += 1
+            elif kind == "error":
+                yield (
+                    int(reply["index"]),
+                    (
+                        "err",
+                        str(reply.get("error_type", "ServiceError")),
+                        str(reply.get("message", "")),
+                        str(reply.get("traceback", "")),
+                    ),
+                )
+                seen += 1
+            elif kind == "done":
+                if int(reply.get("count", -1)) != seen:
+                    raise ServiceError(
+                        f"simulation server {self.address} reported "
+                        f"{reply.get('count')} outcome(s) but streamed {seen}"
+                    )
+                return
+            else:
+                raise ServiceError(
+                    f"unexpected sweep reply from {self.address}: {reply!r}"
+                )
+        raise ServiceError(
+            f"simulation server {self.address} dropped the sweep stream "
+            f"after {seen} of {len(points)} outcome(s)"
+        )
+
+    def gate(self, gate: str, params: Optional[dict] = None) -> dict:
+        """Run a verify/cost/chaos/replay grid server-side.
+
+        Returns ``{"ok": bool, "text": str, "report": ...}``.
+        """
+        reply = self._request_one(
+            {"op": "gate", "gate": gate, "params": params or {}}
+        )
+        if reply.get("type") != "gate":
+            raise ServiceError(
+                f"unexpected gate reply from {self.address}: {reply!r}"
+            )
+        return reply
+
+    def shutdown_server(self) -> bool:
+        """Ask the server to drain its pool and exit; True on ack."""
+        try:
+            reply = self._request_one({"op": "shutdown"})
+        except (OSError, ServiceError):
+            return False
+        return reply.get("type") == "bye"

@@ -1,0 +1,351 @@
+"""The persistent simulation server behind ``repro serve``.
+
+A :class:`SimulationServer` owns
+
+* a **warm worker pool** — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose processes live for the server's lifetime, so the process-wide
+  memos (extracted schedules, compiled replays, the shared water-filling
+  solve memo) accumulate across jobs instead of dying with every CLI
+  invocation;
+* a **batched job queue** — sweep submissions are grouped by
+  ``(algorithm, nranks)`` (the :func:`~repro.core.executor.group_points`
+  batching the in-process pool also uses) and each batch runs start to
+  finish inside one worker, keeping its memos coherent;
+* a **sharded result cache** — one :class:`~repro.core.diskcache.DiskCache`
+  consulted before any simulation and populated afterwards, shared by
+  every client of this server (appends are flock-protected, so external
+  processes may write the same directory concurrently);
+* a **streaming response path** — records are written back the moment
+  their batch completes, tagged with the submission index so clients
+  reassemble deterministic order.
+
+The TCP listener is threaded (one thread per connection, IO-bound); all
+simulation happens in the pool. ``verify``/``cost``/``chaos``/``replay``
+grid gates are jobs on the same queue (op ``gate``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import socketserver
+import threading
+import time
+import traceback
+from typing import Optional
+
+from ..core.diskcache import DiskCache, cache_key
+from ..core.executor import _simulate_batch, _warm_worker, group_points, resolve_jobs
+from . import protocol
+
+__all__ = ["SimulationServer"]
+
+
+def _run_gate(gate: str, params: dict) -> dict:
+    """Worker entry point for one analysis-gate grid job.
+
+    Returns ``{"ok": ..., "text": ..., "report": ...}``; raises nothing
+    (failures are serialised like sweep-point failures).
+    """
+    try:
+        spec = (
+            protocol.decode_spec(params["spec"]) if params.get("spec") else None
+        )
+        if gate == "cost":
+            from ..analysis.costmodel import differential_gate
+            from ..machine import ideal
+
+            report = differential_gate(
+                spec=spec if spec is not None else ideal(),
+                placement=params.get("placement", "blocked"),
+                band=float(params.get("band", 0.5)),
+            )
+        elif gate == "chaos":
+            from ..analysis.chaos import DEFAULT_RANKS, chaos_gate
+            from ..machine import ideal
+
+            report = chaos_gate(
+                seed=int(params.get("seed", 0)),
+                spec=spec if spec is not None else ideal(),
+                ranks=params.get("ranks") or DEFAULT_RANKS,
+                nbytes=int(params.get("nbytes", 4096)),
+            )
+        elif gate == "replay":
+            from ..analysis.replaygate import (
+                DEFAULT_RANKS,
+                DEFAULT_SIZES,
+                replay_gate,
+            )
+            from ..machine import hornet
+
+            report = replay_gate(
+                spec=spec if spec is not None else hornet(),
+                ranks=params.get("ranks") or DEFAULT_RANKS,
+                sizes=params.get("sizes") or DEFAULT_SIZES,
+            )
+        elif gate == "verify":
+            from ..analysis.verify import verifiable_collectives, verify_collective
+
+            ranks = [int(p) for p in params.get("ranks") or [8]]
+            nbytes = int(params.get("nbytes", 65536))
+            root = int(params.get("root", 0))
+            strict = bool(params.get("strict", False))
+            rendezvous = bool(params.get("rendezvous", True))
+            reports = [
+                verify_collective(
+                    name, nranks, nbytes=nbytes, root=root, rendezvous=rendezvous
+                )
+                for nranks in ranks
+                for name in verifiable_collectives(nranks)
+            ]
+            verdicts = [r.ok_strict() if strict else r.ok for r in reports]
+            ok = all(verdicts)
+            failed = [r for r, v in zip(reports, verdicts) if not v]
+            text = f"{len(reports) - len(failed)}/{len(reports)} schedule(s) verified"
+            for r in failed:
+                text += "\n" + r.describe()
+            return {
+                "ok": ok,
+                "text": text,
+                "report": [r.to_dict() for r in reports],
+            }
+        else:
+            return {
+                "ok": False,
+                "text": f"unknown gate {gate!r}",
+                "report": None,
+            }
+        return {"ok": report.ok, "text": report.describe(), "report": report.to_dict()}
+    except Exception as exc:  # noqa: BLE001 - serialised for the client
+        return {
+            "ok": False,
+            "text": f"gate {gate!r} raised {type(exc).__name__}: {exc}",
+            "report": None,
+            "traceback": traceback.format_exc(),
+        }
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection = one request (ping/stats/sweep/gate/shutdown)."""
+
+    server: "_TCPServer"
+
+    def handle(self) -> None:
+        sim = self.server.sim
+        try:
+            msg = protocol.read_message(self.rfile)
+        except Exception as exc:  # noqa: BLE001 - protocol error, report+drop
+            protocol.write_message(
+                self.wfile, {"type": "error", "index": -1, "error_type":
+                             type(exc).__name__, "message": str(exc),
+                             "traceback": ""}
+            )
+            return
+        if msg is None:
+            return
+        op = msg.get("op")
+        try:
+            if op == "ping":
+                protocol.write_message(self.wfile, sim.describe_pong())
+            elif op == "stats":
+                protocol.write_message(self.wfile, sim.describe_stats())
+            elif op == "sweep":
+                sim.handle_sweep(msg, self.wfile)
+            elif op == "gate":
+                sim.handle_gate(msg, self.wfile)
+            elif op == "shutdown":
+                protocol.write_message(self.wfile, {"type": "bye"})
+                sim.request_shutdown()
+            else:
+                protocol.write_message(
+                    self.wfile,
+                    {"type": "error", "index": -1, "error_type":
+                     "ConfigurationError", "message": f"unknown op {op!r}",
+                     "traceback": ""},
+                )
+        except BrokenPipeError:  # client went away mid-stream
+            pass
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    sim: "SimulationServer"
+
+
+class SimulationServer:
+    """Long-running warm-pool simulation service on a local TCP port."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: Optional[int] = 0,
+        cache: Optional[DiskCache] = None,
+        state_file=None,
+    ):
+        self.host = host
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.state_file = protocol.state_file_path(state_file)
+        self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
+        self._tcp.sim = self
+        self.port = self._tcp.server_address[1]
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_warm_worker
+        )
+        self._lock = threading.Lock()  # pool submissions + counters
+        self._started = time.time()
+        self._jobs_served = 0
+        self._points_served = 0
+        self._shutdown_requested = threading.Event()
+        protocol.write_state(self.state_file, self.host, self.port, os.getpid())
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`request_shutdown`."""
+        try:
+            self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            self.close()
+
+    def request_shutdown(self) -> None:
+        """Stop the accept loop (callable from handler threads)."""
+        if not self._shutdown_requested.is_set():
+            self._shutdown_requested.set()
+            threading.Thread(target=self._tcp.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Drain the pool, stop listening and withdraw the state file."""
+        self._shutdown_requested.set()
+        self._tcp.server_close()
+        self._pool.shutdown(wait=True)
+        try:
+            if self.state_file.exists():
+                self.state_file.unlink()
+        except OSError:  # pragma: no cover - state dir vanished
+            pass
+
+    def __enter__(self) -> "SimulationServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------
+    def describe_pong(self) -> dict:
+        return {
+            "type": "pong",
+            "pid": os.getpid(),
+            "workers": self.jobs,
+            "version": protocol.PROTOCOL_VERSION,
+        }
+
+    def describe_stats(self) -> dict:
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        return {
+            "type": "stats",
+            "pid": os.getpid(),
+            "workers": self.jobs,
+            "uptime_s": time.time() - self._started,
+            "jobs": self._jobs_served,
+            "points": self._points_served,
+            "cache": None
+            if cache_stats is None
+            else {
+                "entries": cache_stats.entries,
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "stores": cache_stats.stores,
+            },
+        }
+
+    # -- job handling ----------------------------------------------------
+    def handle_sweep(self, msg: dict, wfile) -> None:
+        """Run one sweep job: cache pass, batched fan-out, streaming."""
+        spec = protocol.decode_spec(msg["spec"])
+        points = protocol.decode_points(msg["points"])
+        root = int(msg.get("root", 0))
+        placement = msg.get("placement", "blocked")
+        faults = protocol.decode_faults(msg.get("faults"))
+        reliable = protocol.decode_reliable(msg.get("reliable"))
+        use_cache = bool(msg.get("cache", True)) and self.cache is not None
+
+        sent = 0
+        cold = []
+        keys = {}
+        for i, point in enumerate(points):
+            if use_cache:
+                keys[i] = cache_key(
+                    spec, point, root=root, placement=placement,
+                    faults=faults, reliable=reliable,
+                )
+                rec = self.cache.get(keys[i])
+                if rec is not None:
+                    protocol.write_message(
+                        wfile,
+                        {"type": "result", "index": i,
+                         "record": protocol.encode_record(rec)},
+                    )
+                    sent += 1
+                    continue
+            cold.append(i)
+
+        if cold:
+            tasks = {
+                i: (spec, points[i], root, placement, faults, reliable)
+                for i in cold
+            }
+            batches = group_points(points, cold, self.jobs)
+            with self._lock:
+                futures = {
+                    self._pool.submit(
+                        _simulate_batch, [tasks[i] for i in batch]
+                    ): batch
+                    for batch in batches
+                }
+            for fut in concurrent.futures.as_completed(futures):
+                batch = futures[fut]
+                for i, outcome in zip(batch, fut.result()):
+                    if outcome[0] == "ok":
+                        rec = outcome[1]
+                        if use_cache:
+                            self.cache.put(keys[i], rec)
+                        protocol.write_message(
+                            wfile,
+                            {"type": "result", "index": i,
+                             "record": protocol.encode_record(rec)},
+                        )
+                    else:
+                        _, error_type, message, tb = outcome
+                        protocol.write_message(
+                            wfile,
+                            {"type": "error", "index": i,
+                             "error_type": error_type, "message": message,
+                             "traceback": tb},
+                        )
+                    sent += 1
+
+        with self._lock:
+            self._jobs_served += 1
+            self._points_served += len(points)
+        protocol.write_message(wfile, {"type": "done", "count": sent})
+
+    def handle_gate(self, msg: dict, wfile) -> None:
+        """Run one verify/cost/chaos/replay grid on the worker pool."""
+        gate = str(msg.get("gate", ""))
+        params = msg.get("params") or {}
+        with self._lock:
+            fut = self._pool.submit(_run_gate, gate, params)
+        result = fut.result()
+        with self._lock:
+            self._jobs_served += 1
+        protocol.write_message(
+            wfile,
+            {"type": "gate", "gate": gate, "ok": result.get("ok", False),
+             "text": result.get("text", ""), "report": result.get("report")},
+        )

@@ -67,6 +67,11 @@ __all__ = [
     "ENGINE_ENV",
     "ENGINE_MODES",
     "engine_mode",
+    "SOLVE_MEMO_ENV",
+    "solve_memo_mode",
+    "shared_solve_memo",
+    "clear_solve_memo",
+    "solve_memo_entries",
     "OP_SEND",
     "OP_ISEND",
     "OP_RECV",
@@ -101,6 +106,65 @@ def engine_mode() -> str:
             f"unknown {ENGINE_ENV} mode {mode!r}; expected one of {ENGINE_MODES}"
         )
     return mode
+
+
+# -- cross-run solve-memo store ---------------------------------------
+#
+# The water-filling kernel is a pure function of a component's path-class
+# multiset, so its outputs can be reused not just within one replay but
+# across every replay whose *structure* matches: same dense resource
+# capacities, same (resource path, rate cap) definition per class id.
+# That structural signature is computed once per engine; engines with
+# equal signatures share one memo dict, so a long-running process (the
+# simulation service's warm workers above all) pays the kernel cost for
+# each contention pattern once, not once per job. Hits replay the exact
+# floats (and round counts) the kernel produced, keeping results and
+# telemetry bitwise-identical to a cold process — asserted by
+# ``tests/sim/test_replay.py`` and the replay differential gate.
+
+SOLVE_MEMO_ENV = "REPRO_REPLAY_MEMO"
+_SOLVE_MEMO_MODES = ("shared", "private")
+_SOLVE_MEMO_STORE: Dict[tuple, Dict] = {}
+_SOLVE_MEMO_STORE_CAP = 64  # distinct structures; each memo caps itself
+
+
+def solve_memo_mode() -> str:
+    """``REPRO_REPLAY_MEMO``: ``shared`` (default) or ``private``."""
+    mode = os.environ.get(SOLVE_MEMO_ENV, "").strip() or "shared"
+    if mode not in _SOLVE_MEMO_MODES:
+        raise SimulationError(
+            f"unknown {SOLVE_MEMO_ENV} mode {mode!r}; "
+            f"expected one of {_SOLVE_MEMO_MODES}"
+        )
+    return mode
+
+
+def shared_solve_memo(signature: tuple) -> Dict:
+    """The process-wide memo dict for one structural *signature*.
+
+    Falls back to a private dict when the store is full (new structures
+    then simply lose cross-run reuse) or when ``REPRO_REPLAY_MEMO=private``.
+    """
+    if solve_memo_mode() != "shared":
+        return {}
+    memo = _SOLVE_MEMO_STORE.get(signature)
+    if memo is None:
+        if len(_SOLVE_MEMO_STORE) >= _SOLVE_MEMO_STORE_CAP:
+            return {}
+        memo = _SOLVE_MEMO_STORE[signature] = {}
+    return memo
+
+
+def clear_solve_memo() -> int:
+    """Drop every shared solve memo; returns how many structures held."""
+    n = len(_SOLVE_MEMO_STORE)
+    _SOLVE_MEMO_STORE.clear()
+    return n
+
+
+def solve_memo_entries() -> int:
+    """Total memoised component solves across all shared structures."""
+    return sum(len(m) for m in _SOLVE_MEMO_STORE.values())
 
 
 class ReplaySchedule:
@@ -329,6 +393,7 @@ class _LeanFlowNet:
         rate_caps: List[float],
         class_of_pid: List[int],
         on_done,
+        memo: Optional[Dict] = None,
     ):
         self.engine = engine
         self._order_pid = order_pid
@@ -362,7 +427,13 @@ class _LeanFlowNet:
         self._comp_removals: Dict[int, int] = {}
         self._next_comp = 0
 
-        self._memo: Dict[Tuple[int, ...], Dict[int, float]] = {}
+        # (class multiset) -> (class -> rate, kernel rounds). Possibly a
+        # process-wide dict shared with structurally-identical engines
+        # (see shared_solve_memo); hits replay the stored rounds so the
+        # telemetry, like the rates, is independent of memo history.
+        self._memo: Dict[Tuple[int, ...], Tuple[Dict[int, float], int]] = (
+            {} if memo is None else memo
+        )
         self._stat_solves = 0
         self._stat_rounds = 0
         self._stat_components = 0
@@ -626,8 +697,10 @@ class _LeanFlowNet:
         n = len(fids)
         rate = self._rate
         if hit is not None:
+            stored, rounds = hit
             for f, cls in zip(fids, classes):
-                rate[f] = hit[cls]
+                rate[f] = stored[cls]
+            self._stat_rounds += rounds
             self._stat_components += 1
             self._stat_flows_solved += n
             if n > self._stat_max_component:
@@ -640,7 +713,7 @@ class _LeanFlowNet:
             rate[f] = r
             out[classes[i]] = r
         if len(self._memo) < (1 << 16):
-            self._memo[key] = out
+            self._memo[key] = (out, rounds)
         self._stat_rounds += rounds
         self._stat_components += 1
         self._stat_flows_solved += n
@@ -812,6 +885,12 @@ class ReplayEngine:
                 cid = len(class_index)
                 class_index[ckey] = cid
             class_of_pid.append(cid)
+        # Structural signature: engines agreeing on every dense resource
+        # capacity and on each class id's (path, rate cap) definition
+        # produce identical kernel outputs for identical multisets, so
+        # they can share one cross-run solve memo (warm workers keep it
+        # hot across jobs; see shared_solve_memo).
+        memo_signature = (tuple(capacities), tuple(class_index))
         self.flownet = _LeanFlowNet(
             self.engine,
             self._plan_idx_l,
@@ -822,6 +901,7 @@ class ReplayEngine:
             rate_caps,
             class_of_pid,
             self._flow_complete,
+            memo=shared_solve_memo(memo_signature),
         )
 
         # Per-message protocol state (plain lists: scalar indexing on the

@@ -87,3 +87,52 @@ class TestFailurePropagation:
         with pytest.raises(SweepExecutionError) as err:
             SweepExecutor(jobs=2).run(small_spec(), [bad1, bad2])
         assert err.value.point == bad1
+
+
+class TestGrouping:
+    """Memo-friendly batching: group_points is deterministic and total."""
+
+    def test_groups_by_algorithm_and_ranks(self):
+        from repro.core import group_points
+
+        points = small_points()
+        batches = group_points(points, list(range(len(points))), workers=1)
+        assert sorted(i for b in batches for i in b) == list(range(len(points)))
+        for batch in batches:
+            keys = {(points[i].algorithm, points[i].nranks) for i in batch}
+            assert len(keys) == 1  # one schedule family per batch
+
+    def test_splits_to_saturate_workers(self):
+        from repro.core import group_points
+
+        points = [SweepPoint("a", 4, n) for n in range(1, 9)]
+        batches = group_points(points, list(range(8)), workers=4)
+        assert len(batches) == 4
+        assert sorted(i for b in batches for i in b) == list(range(8))
+        for batch in batches:
+            assert batch == sorted(batch)  # size axis order preserved
+
+    def test_never_splits_below_one(self):
+        from repro.core import group_points
+
+        points = [SweepPoint("a", 4, 1024)]
+        batches = group_points(points, [0], workers=8)
+        assert batches == [[0]]
+
+    def test_deterministic(self):
+        from repro.core import group_points
+
+        points = small_points()
+        indices = list(range(len(points)))
+        assert group_points(points, indices, 3) == group_points(points, indices, 3)
+
+    def test_batched_parallel_matches_serial_with_mixed_families(self):
+        points = [
+            SweepPoint(a, p, n)
+            for n in (16 * 1024, 32 * 1024, 64 * 1024)
+            for a in ("scatter_ring_native", "scatter_ring_opt")
+            for p in (4, 8)
+        ]
+        serial = SweepExecutor(jobs=1).run(small_spec(), points)
+        parallel = SweepExecutor(jobs=3).run(small_spec(), points)
+        assert serial == parallel

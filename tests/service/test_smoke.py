@@ -1,0 +1,96 @@
+"""CI smoke test: a real ``repro serve`` subprocess, end to end.
+
+The other service tests drive an in-process server; this one exercises
+the shipped entry points exactly as a user would — ``python -m repro
+serve`` as a child process, discovery through the state file, a mini
+Figure-6(b) grid through the client, byte-equality against the serial
+path, and a clean ``--stop`` shutdown. ``REPRO_BENCH_FAST`` trims the
+grid for quick CI runs.
+"""
+
+import dataclasses
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.bench.figures import fast_mode, fig6
+from repro.core.api import simulate_bcast
+from repro.core.executor import SweepExecutor
+from repro.core.sweep import SweepPoint
+from repro.service.protocol import read_state
+
+
+def mini_fig6b_points():
+    """A corner of the Figure 6(b) grid: np=64, smallest+largest size."""
+    exp = fig6("b")
+    nranks = exp.ranks_axis[0]
+    sizes = exp.sizes_axis
+    picked = [sizes[0]] if fast_mode() else [sizes[0], sizes[-1]]
+    return exp.spec, [
+        SweepPoint(a, nranks, n)
+        for a in exp.sweep.algorithms
+        for n in picked
+    ]
+
+
+def det_fields(rec):
+    d = dataclasses.asdict(rec)
+    d.pop("solver_time_s")
+    return d
+
+
+@pytest.mark.slow
+def test_serve_subprocess_smoke(tmp_path):
+    state_file = tmp_path / "service.json"
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--jobs", "1",
+            "--no-cache",
+            "--state-file", str(state_file),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.time() + 60
+        while read_state(state_file) is None:
+            assert proc.poll() is None, proc.stdout.read()
+            assert time.time() < deadline, "server never advertised itself"
+            time.sleep(0.2)
+
+        spec, points = mini_fig6b_points()
+        routed = SweepExecutor(serve=str(state_file)).run(spec, points)
+        for point, rec in zip(points, routed):
+            serial = simulate_bcast(
+                spec,
+                nranks=point.nranks,
+                nbytes=point.nbytes,
+                algorithm=point.algorithm,
+            )
+            assert rec == serial
+            assert det_fields(rec) == det_fields(serial)
+
+        stop = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--stop", "--state-file", str(state_file),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert stop.returncode == 0, stop.stderr
+        assert proc.wait(timeout=60) == 0
+        assert not state_file.exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
