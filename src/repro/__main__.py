@@ -493,10 +493,11 @@ def cmd_verify(args) -> int:
 
     nbytes = parse_size(args.nbytes)
     ranks = [int(p) for p in args.nranks.split(",")]
-    if args.collective == "all":
+    if args.collective == "all" and not args.mc:
         # Route the whole-registry grid to a simulation server when asked.
         # The cost-model consistency pass always runs locally afterwards
         # via the normal path, so a routed verify covers schedules only.
+        # (--mc always runs locally: the service protocol predates it.)
         code = _gate_via_service(
             args,
             "verify",
@@ -525,6 +526,8 @@ def cmd_verify(args) -> int:
                         nbytes=nbytes,
                         root=args.root,
                         rendezvous=not args.no_rendezvous,
+                        modelcheck=args.mc,
+                        mc_max_states=args.mc_max_states,
                     )
                 )
             except ConfigurationError as exc:
@@ -599,6 +602,83 @@ def cmd_verify(args) -> int:
             print(f"\ncost-model consistency pass: {len(reports)} report(s) OK")
     print(f"\n{len(reports) - failed}/{len(reports)} schedule(s) verified")
     return 1 if failed or cost_failures else 0
+
+
+def cmd_mc(args) -> int:
+    import json as _json
+
+    from .analysis.modelcheck import check_collective, mc_grid
+    from .errors import ConfigurationError
+    from .sim.faults import FaultPlan
+    from .util import parse_size
+
+    nbytes = parse_size(args.nbytes)
+    if args.grid:
+        report = mc_grid(
+            nbytes=nbytes, max_states=args.max_states, seed=args.seed
+        )
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2))
+        else:
+            table = Table(
+                ["collective", "P", "plan", "mode", "states", "execs",
+                 "terminals", "status"],
+                title=(
+                    f"match-order model checking (nbytes={nbytes}, "
+                    f"max_states={args.max_states}, seed={args.seed})"
+                ),
+            )
+            for c in report.checks:
+                table.add_row(
+                    c.collective, c.nranks, c.plan, c.mode, c.states,
+                    c.executions, c.terminals, c.status.upper(),
+                )
+            print(table)
+            for c in report.failures:
+                if c.status == "fail":
+                    print(
+                        f"  FAIL {c.collective} P={c.nranks} "
+                        f"plan={c.plan}: {c.detail}"
+                    )
+            print(report.describe().splitlines()[-1])
+        failed = any(c.status == "fail" for c in report.checks)
+        incomplete = any(c.status == "incomplete" for c in report.checks)
+        return 1 if failed or (args.strict and incomplete) else 0
+    faults = None
+    if args.drop_p or args.dup_p or args.corrupt_p:
+        faults = FaultPlan.uniform(
+            seed=args.seed,
+            drop_p=args.drop_p,
+            dup_p=args.dup_p,
+            corrupt_p=args.corrupt_p,
+            name="cli",
+        )
+    reports = []
+    for nranks in [int(p) for p in args.nranks.split(",")]:
+        try:
+            reports.append(
+                check_collective(
+                    args.collective,
+                    nranks,
+                    nbytes=nbytes,
+                    root=args.root,
+                    mode="naive" if args.naive else "dpor",
+                    max_states=args.max_states,
+                    faults=faults,
+                    max_attempts=args.max_attempts,
+                )
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for r in reports:
+            print(r.describe())
+    failed = any(not r.ok for r in reports)
+    incomplete = any(not r.complete for r in reports)
+    return 1 if failed or (args.strict and incomplete) else 0
 
 
 def cmd_cost(args) -> int:
@@ -1062,8 +1142,80 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the cost-model consistency pass",
     )
+    p.add_argument(
+        "--mc",
+        action="store_true",
+        help=(
+            "confirm hazard pairs by exhaustive match-order model checking "
+            "(downgrades provably-benign hazards for --strict)"
+        ),
+    )
+    p.add_argument(
+        "--mc-max-states",
+        type=int,
+        default=20000,
+        help="model-checker state budget per point (default: 20000)",
+    )
     _add_serve_arg(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "mc",
+        help="exhaustive match-order model checker with DPOR",
+    )
+    p.add_argument(
+        "--collective",
+        default="bcast_opt",
+        help="registry name for single-point mode (default: bcast_opt)",
+    )
+    p.add_argument(
+        "--nranks", default="4", help="comma-separated process counts (default: 4)"
+    )
+    p.add_argument("--nbytes", default="1KiB", help="payload size (default: 1KiB)")
+    p.add_argument("--root", type=int, default=0, help="root rank (default: 0)")
+    p.add_argument(
+        "--grid",
+        action="store_true",
+        help="full registry x P in {2..6}, rings to P=8, seeded fault cells",
+    )
+    p.add_argument(
+        "--max-states",
+        type=int,
+        default=20000,
+        help="exploration budget per point (default: 20000)",
+    )
+    p.add_argument(
+        "--naive",
+        action="store_true",
+        help="full enumeration instead of DPOR (reduction baseline)",
+    )
+    p.add_argument(
+        "--drop-p", type=float, default=0.0, help="uniform drop probability"
+    )
+    p.add_argument(
+        "--dup-p", type=float, default=0.0, help="uniform duplicate probability"
+    )
+    p.add_argument(
+        "--corrupt-p", type=float, default=0.0, help="uniform corrupt probability"
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="abstract ARQ retry budget per send (default: 4)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="budget-truncated (incomplete) explorations also fail",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser(
         "cost",

@@ -5,8 +5,10 @@ export, critical path) plus the static schedule verifier
 (:mod:`repro.analysis.verify`), the α-β/LogGP cost engine
 (:mod:`repro.analysis.costmodel`), the symbolic all-P savings proofs
 (:mod:`repro.analysis.symbolic`), the determinism lint
-(:mod:`repro.analysis.lint`) and the engine differential gates: chaos
-(:mod:`repro.analysis.chaos`) and replay-vs-DES
+(:mod:`repro.analysis.lint`), the exhaustive match-order model checker
+with dynamic partial-order reduction
+(:mod:`repro.analysis.modelcheck`) and the engine differential gates:
+chaos (:mod:`repro.analysis.chaos`) and replay-vs-DES
 (:mod:`repro.analysis.replaygate`).
 """
 
@@ -45,6 +47,16 @@ from .replaygate import (
     run_replay_point,
 )
 from .lint import LintViolation, lint_paths, lint_source
+from .modelcheck import (
+    DeadlockWitness,
+    MCCheck,
+    MCGridReport,
+    MCReport,
+    check_collective,
+    check_program,
+    default_mc_plans,
+    mc_grid,
+)
 from .symbolic import (
     SavingsProof,
     prove_savings,
@@ -102,6 +114,14 @@ __all__ = [
     "LintViolation",
     "lint_paths",
     "lint_source",
+    "DeadlockWitness",
+    "MCCheck",
+    "MCGridReport",
+    "MCReport",
+    "check_collective",
+    "check_program",
+    "default_mc_plans",
+    "mc_grid",
     "SavingsProof",
     "prove_savings",
     "prove_savings_range",

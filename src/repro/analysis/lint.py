@@ -19,9 +19,10 @@ random state may be consulted:
 
 A line can opt out with a trailing ``# det: allow`` comment — the only
 current uses are the solver's wall-time *telemetry* counters in
-``sim/flows.py``, which measure how long the solver took without ever
-feeding back into simulated results. The marker keeps such exceptions
-visible in review rather than smuggled in.
+``sim/flows.py`` and the simulation server's uptime bookkeeping in
+``service/server.py``, which measure how long something took without
+ever feeding back into simulated results. The marker keeps such
+exceptions visible in review rather than smuggled in.
 
 Run as ``python -m repro.analysis.lint [paths...]`` (or ``repro lint``);
 with no arguments it checks the default target packages. Exit status is
@@ -50,7 +51,11 @@ __all__ = [
 #: and ``analysis`` joined once the static cost model started deriving
 #: results from them (a nondeterministic link enumeration or cost pass
 #: would poison the differential gate just like a nondeterministic sim).
-DEFAULT_TARGETS = ("sim", "collectives", "mpi", "machine", "analysis")
+#: ``service`` joined when the simulation server started executing the
+#: same gate jobs out-of-process — its results must be byte-identical to
+#: the in-process path, so only explicitly marked telemetry lines (the
+#: server loop's uptime clock) may touch the host clock.
+DEFAULT_TARGETS = ("sim", "collectives", "mpi", "machine", "analysis", "service")
 
 ALLOW_MARKER = "det: allow"
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..collectives import (
@@ -135,7 +135,14 @@ class RedundantTransfer:
 @dataclass(frozen=True)
 class HazardPair:
     """Two same-(src, dst, tag) messages concurrently in flight whose
-    reordering would change chunk routing."""
+    reordering would change chunk routing.
+
+    ``verdict`` is filled by the model-checker feedback pass
+    (``verify_collective(..., modelcheck=True)``): ``"benign"`` when
+    exhaustive match-order exploration proved every interleaving
+    equivalent, ``"confirmed"`` when some interleaving actually diverges
+    (or the exploration could not finish), ``None`` when unchecked.
+    """
 
     src: int
     dst: int
@@ -143,6 +150,7 @@ class HazardPair:
     first_order: int
     second_order: int
     detail: str
+    verdict: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -189,6 +197,7 @@ class VerifyReport:
     violations: List[Violation] = field(default_factory=list)
     hazards: List[HazardPair] = field(default_factory=list)
     rendezvous: Optional[RendezvousReport] = None
+    modelcheck: Optional[dict] = None
 
     @property
     def redundant_count(self) -> int:
@@ -199,8 +208,9 @@ class VerifyReport:
         return not self.violations
 
     def ok_strict(self) -> bool:
-        """Like :attr:`ok` but match-order hazards also count as failures."""
-        return self.ok and not self.hazards
+        """Like :attr:`ok` but match-order hazards also count as failures
+        — unless the model checker proved them benign."""
+        return self.ok and all(h.verdict == "benign" for h in self.hazards)
 
     def describe(self) -> str:
         lines = [
@@ -215,7 +225,20 @@ class VerifyReport:
             lines.append(f"  redundant transfers: {self.redundant_count}{expect}")
         else:
             lines.append("  chunk provenance: untracked for this collective")
-        lines.append(f"  match-order hazards: {len(self.hazards)}")
+        benign = sum(1 for h in self.hazards if h.verdict == "benign")
+        confirmed = sum(1 for h in self.hazards if h.verdict == "confirmed")
+        hazard_note = ""
+        if benign or confirmed:
+            hazard_note = f" ({benign} benign, {confirmed} confirmed)"
+        lines.append(f"  match-order hazards: {len(self.hazards)}{hazard_note}")
+        if self.modelcheck is not None:
+            mc = self.modelcheck
+            lines.append(
+                f"  model check: {mc['states']} state(s), "
+                f"{mc['executions']} interleaving(s), "
+                f"{'complete' if mc['complete'] else 'INCOMPLETE'}, "
+                f"{'OK' if mc['ok'] else 'FAIL'}"
+            )
         if self.rendezvous is not None:
             lines.append(f"  rendezvous: {self.rendezvous.describe()}")
         for v in self.violations:
@@ -251,9 +274,11 @@ class VerifyReport:
                     "first_order": h.first_order,
                     "second_order": h.second_order,
                     "detail": h.detail,
+                    "verdict": h.verdict,
                 }
                 for h in self.hazards
             ],
+            "modelcheck": self.modelcheck,
             "rendezvous_deadlock": (
                 None if self.rendezvous is None else self.rendezvous.deadlocked
             ),
@@ -1077,7 +1102,24 @@ def verify_program(
                     detail=f"rendezvous analysis: {report.rendezvous.describe()}",
                 )
             )
+    _stabilize(report)
     return report
+
+
+def _stabilize(report: VerifyReport) -> None:
+    """Sort hazards and violations by stable keys so ``--json`` output is
+    byte-identical across runs regardless of discovery order."""
+    report.hazards.sort(
+        key=lambda h: (h.src, h.dst, h.tag, h.first_order, h.second_order)
+    )
+    report.violations.sort(
+        key=lambda v: (
+            v.kind,
+            v.rank if v.rank is not None else -1,
+            v.send_order if v.send_order is not None else -1,
+            v.detail,
+        )
+    )
 
 
 def verify_collective(
@@ -1086,8 +1128,19 @@ def verify_collective(
     nbytes: int = 65536,
     root: int = 0,
     rendezvous: bool = True,
+    modelcheck: bool = False,
+    mc_max_states: int = 20000,
 ) -> VerifyReport:
-    """Run the full verification pass for one registry collective."""
+    """Run the full verification pass for one registry collective.
+
+    With ``modelcheck=True``, the exhaustive match-order explorer
+    (:mod:`repro.analysis.modelcheck`) runs as a confirmation pass:
+    hazard pairs from pass 3 are downgraded to ``verdict="benign"`` when
+    every interleaving provably terminates with identical payloads and
+    wire counters, or upgraded to ``verdict="confirmed"`` when a real
+    divergence (or an unfinished exploration) leaves them standing; any
+    model-checker violation is appended to the report's violations.
+    """
     try:
         spec = REGISTRY[name]
     except KeyError:
@@ -1099,7 +1152,7 @@ def verify_collective(
             f"collective {name!r} does not support P={nranks}"
             + (" (power-of-two only)" if spec.pof2_only else "")
         )
-    return verify_program(
+    report = verify_program(
         nranks,
         spec.build(nranks, nbytes, root),
         initial_owned=(
@@ -1120,3 +1173,30 @@ def verify_collective(
         nbytes=nbytes,
         root=root,
     )
+    if modelcheck:
+        _apply_modelcheck(report, name, nranks, nbytes, root, mc_max_states)
+    return report
+
+
+def _apply_modelcheck(
+    report: VerifyReport,
+    name: str,
+    nranks: int,
+    nbytes: int,
+    root: int,
+    mc_max_states: int,
+) -> None:
+    # Imported lazily: modelcheck imports this module at top level.
+    from .modelcheck import check_collective
+
+    mc = check_collective(
+        name, nranks, nbytes=nbytes, root=root, max_states=mc_max_states
+    )
+    report.modelcheck = mc.summary_dict()
+    verdict = "benign" if (mc.ok and mc.complete) else "confirmed"
+    report.hazards = [replace(h, verdict=verdict) for h in report.hazards]
+    for v in mc.violations:
+        report.violations.append(
+            Violation(kind="modelcheck", detail=f"[{v.kind}] {v.detail}")
+        )
+    _stabilize(report)

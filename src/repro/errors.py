@@ -40,17 +40,37 @@ class DeadlockError(SimulationError):
     """The event queue drained while processes were still blocked.
 
     Carries the list of blocked rank descriptions to make diagnosing a
-    mis-matched send/receive schedule straightforward.
+    mis-matched send/receive schedule straightforward. Repeated
+    descriptions (e.g. P-2 ranks all parked on the same ring receive)
+    collapse to one line with a ``(xN)`` multiplicity so the headline
+    stays readable at large P; ``.blocked`` keeps the full list.
+
+    ``witness`` optionally attaches a minimized model-checker witness
+    (:class:`repro.analysis.modelcheck.DeadlockWitness` — anything whose
+    ``str()`` renders a replayable schedule) so the error names not just
+    *who* is stuck but the shortest interleaving that gets them stuck.
     """
 
-    def __init__(self, blocked: list) -> None:
+    def __init__(self, blocked: list, witness=None) -> None:
         self.blocked = list(blocked)
-        detail = "; ".join(str(b) for b in self.blocked[:8])
-        if len(self.blocked) > 8:
-            detail += f"; ... ({len(self.blocked) - 8} more)"
-        super().__init__(
-            f"simulation deadlocked with {len(self.blocked)} blocked process(es): {detail}"
+        self.witness = witness
+        counts: dict = {}
+        for b in self.blocked:
+            line = str(b)
+            counts[line] = counts.get(line, 0) + 1
+        unique = [
+            line if n == 1 else f"{line} (x{n})" for line, n in counts.items()
+        ]
+        detail = "; ".join(unique[:8])
+        if len(unique) > 8:
+            detail += f"; ... ({len(unique) - 8} more)"
+        message = (
+            f"simulation deadlocked with {len(self.blocked)} blocked "
+            f"process(es): {detail}"
         )
+        if witness is not None:
+            message += f"\n{witness}"
+        super().__init__(message)
 
 
 class ReplayUnsupportedError(SimulationError):

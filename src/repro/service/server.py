@@ -195,7 +195,7 @@ class SimulationServer:
             max_workers=self.jobs, initializer=_warm_worker
         )
         self._lock = threading.Lock()  # pool submissions + counters
-        self._started = time.time()
+        self._started = time.time()  # det: allow — uptime telemetry only
         self._jobs_served = 0
         self._points_served = 0
         self._shutdown_requested = threading.Event()
@@ -251,7 +251,7 @@ class SimulationServer:
             "type": "stats",
             "pid": os.getpid(),
             "workers": self.jobs,
-            "uptime_s": time.time() - self._started,
+            "uptime_s": time.time() - self._started,  # det: allow — telemetry
             "jobs": self._jobs_served,
             "points": self._points_served,
             "cache": None

@@ -148,6 +148,30 @@ class TestTree:
             covered.update(p.name for p in root.rglob("*.py"))
         assert {"faults.py", "reliable.py"} <= covered
 
+    def test_default_target_list_is_pinned(self):
+        # Regression pin: dropping a package from the lint targets would
+        # silently stop enforcing determinism there. Extend deliberately,
+        # never shrink.
+        from repro.analysis.lint import DEFAULT_TARGETS
+
+        assert DEFAULT_TARGETS == (
+            "sim",
+            "collectives",
+            "mpi",
+            "machine",
+            "analysis",
+            "service",
+        )
+
+    def test_service_server_loop_is_covered_and_clean(self):
+        # The server's host-clock uses must stay visible as explicit
+        # `# det: allow` telemetry escapes, not lint blind spots.
+        covered = set()
+        for root in default_target_paths():
+            covered.update(p.name for p in root.rglob("*.py"))
+        assert "server.py" in covered
+        assert lint_paths(default_target_paths()) == []
+
     def test_default_targets_cover_replay_engine(self):
         # The replay engine substitutes for the DES in sweeps and the
         # disk cache, so its determinism matters as much as the

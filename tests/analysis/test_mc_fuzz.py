@@ -1,0 +1,107 @@
+"""Model-checker property fuzz: DPOR terminals match the DES reference.
+
+Two properties, both over randomly drawn small schedules:
+
+1. For any registry collective at small P, the (unique) DPOR terminal
+   state's per-rank payload digests equal the final buffers of a real
+   DES run of the same program over identically seeded buffers — the
+   abstract executor and the simulator agree bit-for-bit.
+2. For random wildcard race programs (where real branching exists),
+   DPOR explores exactly the same set of distinct terminal outcomes as
+   the naive full enumeration, with no more states.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.chaos import _make_buffers
+from repro.analysis.modelcheck import buffer_digests, check_collective, check_program
+from repro.analysis.verify import REGISTRY
+from repro.machine import Machine, ideal
+from repro.mpi import Job, RealBuffer
+from repro.mpi.ops import ANY_SOURCE
+
+NAMES = sorted(REGISTRY)
+
+
+@settings(deadline=None, max_examples=25)
+@given(data=st.data())
+def test_dpor_terminal_matches_des_reference(data):
+    nranks = data.draw(st.integers(min_value=2, max_value=4))
+    supported = [n for n in NAMES if REGISTRY[n].supports(nranks)]
+    name = data.draw(st.sampled_from(supported))
+    nbytes = data.draw(st.sampled_from([64, 257, 1024]))
+    root = (
+        data.draw(st.integers(min_value=0, max_value=nranks - 1))
+        if name.startswith("bcast")
+        else 0
+    )
+
+    report = check_collective(name, nranks, nbytes=nbytes, root=root)
+    assert report.ok and report.complete, report.describe()
+    assert report.executions == 1  # the registry is wildcard-free
+
+    bufs = _make_buffers(name, nranks, nbytes)
+    Job(
+        Machine(ideal(), nranks),
+        REGISTRY[name].build(nranks, nbytes, root),
+        buffers=bufs,
+    ).run()
+    assert report.payload_digest == buffer_digests(bufs)
+
+
+def _race_program(nsenders, tags):
+    def factory(ctx):
+        def program():
+            if ctx.rank == 0:
+                for i in range(nsenders):
+                    yield from ctx.recv(ANY_SOURCE, 4, disp=4 * i)
+            else:
+                yield from ctx.send(0, 4, tag=tags[ctx.rank - 1])
+
+        return program()
+
+    return factory
+
+
+@settings(deadline=None, max_examples=15)
+@given(data=st.data())
+def test_dpor_explores_same_terminals_as_naive_on_wildcard_races(data):
+    nsenders = data.draw(st.integers(min_value=1, max_value=3))
+    nranks = nsenders + 1
+    tags = tuple(
+        data.draw(st.integers(min_value=0, max_value=2)) for _ in range(nsenders)
+    )
+    identical_payloads = data.draw(st.booleans())
+
+    def make_buffers():
+        return [
+            RealBuffer.from_array(
+                np.full(16, 7, dtype=np.uint8)
+                if identical_payloads
+                else np.arange(16, dtype=np.uint8) + 40 * r
+            )
+            for r in range(nranks)
+        ]
+
+    kwargs = dict(
+        make_buffers=make_buffers, name="fuzz-race", max_states=100000
+    )
+    dpor = check_program(
+        nranks, lambda: _race_program(nsenders, tags), mode="dpor", **kwargs
+    )
+    naive = check_program(
+        nranks, lambda: _race_program(nsenders, tags), mode="naive", **kwargs
+    )
+    assert dpor.complete and naive.complete
+    assert dpor.terminals == naive.terminals
+    # Execution *counts* per label are mode-dependent (naive's state
+    # fingerprints merge converging interleavings; DPOR walks each
+    # maximal branch), but the outcome labels themselves must agree.
+    assert set(dpor.outcomes) == set(naive.outcomes)
+    assert {v.kind for v in dpor.violations} == {
+        v.kind for v in naive.violations
+    }
+    assert dpor.states <= naive.states
+    if identical_payloads:
+        assert dpor.ok, dpor.describe()

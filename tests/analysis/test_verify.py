@@ -323,3 +323,56 @@ class TestReporting:
     def test_rendezvous_report_no_cycle_text(self):
         rep = RendezvousReport(deadlocked=True, blocked=["rank 0: recv(...)"])
         assert "orphaned" in rep.describe()
+
+    def test_json_output_is_byte_stable(self):
+        # Two independent runs must serialize identically: hazards and
+        # violations are sorted by stable keys, not discovery order.
+        first = verify_collective("bcast_opt", 6, nbytes=4096).to_json()
+        second = verify_collective("bcast_opt", 6, nbytes=4096).to_json()
+        assert first == second
+
+    def test_hazards_sorted_by_stable_keys(self):
+        rep = verify_collective("alltoall_pairwise", 5, nbytes=4096)
+        keys = [
+            (h.src, h.dst, h.tag, h.first_order, h.second_order)
+            for h in rep.hazards
+        ]
+        assert keys == sorted(keys)
+
+    def test_violations_sorted_by_stable_keys(self):
+        rep = verify_collective("bcast_native", 8, nbytes=65536)
+        # Force a redundancy-assertion violation alongside provenance data
+        # by lying about the expected count via verify_program.
+        from repro.analysis.verify import REGISTRY, verify_program
+
+        spec = REGISTRY["bcast_native"]
+        rep = verify_program(
+            8,
+            spec.build(8, 65536, 0),
+            initial_owned=spec.initial_owned(8, 65536, 0),
+            expected_final=spec.expected_final(8, 65536, 0),
+            expected_redundant=0,
+            name="bcast_native",
+            nbytes=65536,
+        )
+        keys = [
+            (
+                v.kind,
+                v.rank if v.rank is not None else -1,
+                v.send_order if v.send_order is not None else -1,
+                v.detail,
+            )
+            for v in rep.violations
+        ]
+        assert keys == sorted(keys)
+
+    def test_hazard_verdict_serialized(self):
+        rep = verify_collective("bcast_opt", 6, nbytes=4096, modelcheck=True)
+        data = json.loads(rep.to_json())
+        assert data["modelcheck"]["ok"] is True
+        assert all(h["verdict"] == "benign" for h in data["hazards"])
+        unchecked = json.loads(
+            verify_collective("bcast_opt", 6, nbytes=4096).to_json()
+        )
+        assert all(h["verdict"] is None for h in unchecked["hazards"])
+        assert unchecked["modelcheck"] is None

@@ -219,6 +219,103 @@ class TestVerifyCommand:
         out = capsys.readouterr().out
         assert rc == 0 and "safe" not in out
 
+    def test_mc_pass_makes_strict_hazards_benign(self, capsys):
+        rc = main(
+            [
+                "verify",
+                "--collective",
+                "bcast_native",
+                "--nranks",
+                "8",
+                "--strict",
+                "--mc",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+
+
+class TestMcCommand:
+    def test_single_point_ok(self, capsys):
+        rc = main(["mc", "--collective", "bcast_opt", "--nranks", "4,6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict: OK" in out
+        assert "1 interleaving(s)" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(
+            ["mc", "--collective", "bcast_opt", "--nranks", "6", "--json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data[0]["collective"] == "bcast_opt"
+        assert data[0]["executions"] == 1 and data[0]["ok"] is True
+
+    def test_unknown_collective_exits_two(self, capsys):
+        rc = main(["mc", "--collective", "nope", "--nranks", "4"])
+        assert rc == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+    def test_unsupported_rank_count_exits_two(self, capsys):
+        rc = main(["mc", "--collective", "bcast_rdbl", "--nranks", "6"])
+        assert rc == 2
+
+    def test_budget_truncation_fails_only_in_strict(self, capsys):
+        args = ["mc", "--collective", "bcast_opt", "--nranks", "6",
+                "--max-states", "5"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--strict"]) == 1
+        assert "INCOMPLETE" in capsys.readouterr().out
+
+    def test_fault_plan_flags(self, capsys):
+        rc = main(
+            ["mc", "--collective", "bcast_opt", "--nranks", "4",
+             "--drop-p", "0.3", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0 and "plan=cli" in out
+
+    def test_broken_fixture_exits_nonzero_with_minimized_witness(self, capsys):
+        from repro.analysis.verify import REGISTRY, CollectiveSpec
+        from repro.mpi.ops import ANY_SOURCE
+
+        def build(nranks, nbytes, root):
+            def factory(ctx):
+                def program():
+                    if ctx.rank == 0:
+                        yield from ctx.recv(ANY_SOURCE, 4, tag=7)
+                        yield from ctx.recv(1, 4, tag=7)
+                    else:
+                        yield from ctx.send(0, 4, tag=7)
+
+                return program()
+
+            return factory
+
+        REGISTRY["_broken_fixture"] = CollectiveSpec(
+            name="_broken_fixture", build=build
+        )
+        try:
+            rc = main(["mc", "--collective", "_broken_fixture", "--nranks", "3"])
+            out = capsys.readouterr().out
+            assert rc == 1
+            assert "minimized deadlock witness (5 step(s))" in out
+            assert "VIOLATION [deadlock]" in out
+        finally:
+            del REGISTRY["_broken_fixture"]
+
+    def test_grid_strict_passes(self, capsys):
+        rc = main(["mc", "--grid", "--strict"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict: OK" in out
+        assert "bcast_opt" in out and "crash" in out
+
 
 class TestLintCommand:
     def test_default_targets_clean(self, capsys):
