@@ -29,8 +29,23 @@ Commands cover the common workflows without writing a script:
 * ``trace``   — simulate one collective with tracing and report the
   critical path (``--critical-path``) or export a Chrome trace
   (``--chrome out.json``);
+* ``prove``   — parametric certificate checker: discharges each
+  registry schedule's inductive ownership invariant symbolically in P
+  (exact rational arithmetic, valid for **all** P >= 2), derives the
+  paper's transfer-count theorems as corollaries, and cross-validates
+  every certificate against concrete provenance at P in [2, 64];
+  uncertified collectives must carry an explicit waiver;
 * ``lint``    — AST determinism lint over the simulation core;
 * ``cache``   — inspect or clear the persistent sweep-result cache.
+
+Every analysis subcommand (``verify``/``cost``/``chaos``/``replay``/
+``mc``/``prove``/``lint``) follows one exit-code convention: **0** all
+checks passed, **1** at least one violation/failed obligation (for the
+differential gates, only under ``--strict``), **2** configuration or
+usage error (unknown collective, malformed ``--nranks``/``--nbytes``,
+missing file). Set ``REPRO_GATE_TIMES=path.json`` to append each
+subcommand's wall time to a ``BENCH_``-style JSON that ``bench-report``
+renders alongside the performance trajectories.
 
 ``sweep`` and ``figure`` accept ``--jobs N`` to fan points out over N
 worker processes (``0`` = one per CPU) and use the on-disk result cache
@@ -62,6 +77,8 @@ Examples::
     python -m repro bench-report
     python -m repro compare --fault-drop 0.1 --chaos-stats
     python -m repro trace --collective bcast_opt --nranks 8 --critical-path
+    python -m repro prove --all --strict
+    python -m repro prove --collective bcast_opt --json
     python -m repro lint
     python -m repro cache --clear
 """
@@ -91,6 +108,19 @@ _PRESETS = {"hornet": hornet, "laki": laki, "ideal": ideal}
 def _spec(args):
     factory = _PRESETS[args.machine]
     return factory(nodes=args.nodes) if args.nodes else factory()
+
+
+def _parse_ranks(text: str) -> list:
+    """Parse a ``2,5,8``-style rank list; usage errors exit 2."""
+    from .errors import ConfigurationError
+
+    try:
+        ranks = [int(p) for p in text.split(",") if p.strip()]
+    except ValueError:
+        raise ConfigurationError(f"cannot parse process-count list: {text!r}")
+    if not ranks or any(r < 1 for r in ranks):
+        raise ConfigurationError(f"process counts must be >= 1: {text!r}")
+    return ranks
 
 
 def _add_machine_args(p: argparse.ArgumentParser) -> None:
@@ -431,7 +461,7 @@ def _gate_via_service(args, gate: str, params: dict, spec=None, strict=None):
 
 
 def cmd_traffic(args) -> int:
-    procs = [int(p) for p in args.procs.split(",")]
+    procs = _parse_ranks(args.procs)
     table = Table(
         ["P", "native", "tuned", "saved", "measured tuned"],
         title="Ring-allgather transfers (closed form vs schedule)",
@@ -492,7 +522,7 @@ def cmd_verify(args) -> int:
     from .util import parse_size
 
     nbytes = parse_size(args.nbytes)
-    ranks = [int(p) for p in args.nranks.split(",")]
+    ranks = _parse_ranks(args.nranks)
     if args.collective == "all" and not args.mc:
         # Route the whole-registry grid to a simulation server when asked.
         # The cost-model consistency pass always runs locally afterwards
@@ -654,7 +684,7 @@ def cmd_mc(args) -> int:
             name="cli",
         )
     reports = []
-    for nranks in [int(p) for p in args.nranks.split(",")]:
+    for nranks in _parse_ranks(args.nranks):
         try:
             reports.append(
                 check_collective(
@@ -906,12 +936,30 @@ def cmd_bench_report(args) -> int:
             continue
         print(f"{path.name} — {data.get('date', '?')}")
         print(f"  {data.get('benchmark', '?')}")
-        table = Table(["metric", "value"])
-        for key in sorted(data):
-            if key in ("benchmark", "date", "notes"):
-                continue
-            table.add_row(key, data[key])
-        print(table)
+        gates = data.get("gates")
+        if isinstance(gates, dict) and gates:
+            # Analysis-gate wall-time ledger (REPRO_GATE_TIMES): one row
+            # per subcommand so gate cost regressions are visible next
+            # to the simulator performance trajectories.
+            table = Table(["gate", "wall s", "exit"])
+            for gate in sorted(gates):
+                entry = gates[gate]
+                if isinstance(entry, dict):
+                    table.add_row(
+                        gate, entry.get("wall_s", "?"), entry.get("exit", "?")
+                    )
+                else:
+                    table.add_row(gate, entry, "?")
+            print(table)
+        metric_keys = [
+            k for k in sorted(data)
+            if k not in ("benchmark", "date", "notes", "gates")
+        ]
+        if metric_keys:
+            table = Table(["metric", "value"])
+            for key in metric_keys:
+                table.add_row(key, data[key])
+            print(table)
         cpu_count = data.get("cpu_count")
         # Only *parallel* speedups (jobs=N fan-out) are meaningless on a
         # 1-CPU host; algorithmic speedups (solver, replay, warm memos)
@@ -994,6 +1042,74 @@ def cmd_lint(args) -> int:
     from .analysis.lint import main as lint_main
 
     return lint_main(args.paths)
+
+
+def cmd_prove(args) -> int:
+    import json as _json
+
+    from .analysis.certify import prove_all, prove_collective
+    from .errors import ConfigurationError
+    from .util import parse_size
+
+    if args.all:
+        args.collective = "all"
+    nbytes = parse_size(args.nbytes)
+    try:
+        lo_s, _, hi_s = args.xval.partition(":")
+        lo, hi = int(lo_s), int(hi_s)
+    except ValueError:
+        print(
+            f"error: --xval expects LO:HI, got {args.xval!r}", file=sys.stderr
+        )
+        return 2
+    if args.collective == "all":
+        try:
+            report = prove_all(
+                xval_lo=lo,
+                xval_hi=hi,
+                nbytes=nbytes,
+                skip_crossval=args.no_crossval,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.describe())
+        ok = report.ok_strict() if args.strict else report.ok
+        return 0 if ok else 1
+    try:
+        cert = prove_collective(
+            args.collective,
+            xval_lo=lo,
+            xval_hi=hi,
+            nbytes=nbytes,
+            skip_crossval=args.no_crossval,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(cert.to_dict(), indent=2))
+    else:
+        for o in cert.obligations:
+            mark = {"proved": "ok", "structural": "ok*"}.get(o.status, "FAIL")
+            print(f"  [{mark:>4}] {o.oid}: {o.statement}")
+        xval = (
+            "skipped"
+            if cert.crossval_skipped
+            else f"{cert.crossval_points} point(s), "
+            f"{len(cert.crossval_failures)} failure(s)"
+        )
+        for fdesc in cert.crossval_failures[:10]:
+            print(f"  XVAL {fdesc}")
+        print(
+            f"{cert.collective}: {'ok' if cert.ok else 'FAILED'} — "
+            f"{len(cert.obligations)} obligation(s), crossval {xval}"
+        )
+    ok = cert.ok and not (args.strict and cert.crossval_skipped)
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1386,6 +1502,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
+        "prove",
+        help="parametric certificate checker: symbolic all-P schedule proofs",
+    )
+    p.add_argument(
+        "--collective",
+        default="all",
+        help="certificate to check, or 'all' for the whole registry "
+        "(default: all)",
+    )
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="check every registry collective (the default; certified "
+        "entries are proved, the rest must carry waivers)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when cross-validation was skipped",
+    )
+    p.add_argument(
+        "--xval",
+        default="2:64",
+        metavar="LO:HI",
+        help="inclusive P range for concrete cross-validation "
+        "(default: 2:64)",
+    )
+    p.add_argument(
+        "--no-crossval",
+        action="store_true",
+        help="symbolic obligations only (fails under --strict)",
+    )
+    p.add_argument(
+        "--nbytes",
+        default="64KiB",
+        help="message size for cross-validation points (default: 64KiB)",
+    )
+    p.set_defaults(func=cmd_prove)
+
+    p = sub.add_parser(
         "validate", help="data-checked run of every broadcast algorithm"
     )
     _add_machine_args(p)
@@ -1397,15 +1556,63 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def _record_gate_time(path: str, command: str, wall: float, code: int) -> None:
+    """Append one subcommand's wall time to a BENCH-style JSON ledger.
+
+    Enabled by ``REPRO_GATE_TIMES=path``; ``repro bench-report`` renders
+    the ledger next to the performance trajectories so analysis-gate
+    cost regressions show up alongside simulator perf numbers.
+    """
+    import json as _json
+    from pathlib import Path
+
+    p = Path(path)
     try:
-        return args.func(args)
+        data = _json.loads(p.read_text(encoding="utf-8"))
+        if not isinstance(data, dict):
+            data = {}
+    except (OSError, ValueError):
+        data = {}
+    data.setdefault(
+        "benchmark", "analysis gate wall times (repro <subcommand>)"
+    )
+    gates = data.setdefault("gates", {})
+    if not isinstance(gates, dict):
+        gates = data["gates"] = {}
+    gates[command] = {"wall_s": round(wall, 3), "exit": code}
+    try:
+        p.write_text(
+            _json.dumps(data, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    except OSError as exc:
+        print(f"warning: cannot record gate time: {exc}", file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    import os
+    from time import perf_counter
+
+    from .errors import ConfigurationError
+
+    args = build_parser().parse_args(argv)
+    gate_log = os.environ.get("REPRO_GATE_TIMES")
+    start = perf_counter() if gate_log else 0.0
+    try:
+        code = args.func(args)
     except ServiceUnavailableError as exc:
         # An explicitly requested server that is not there is a usage
         # error (exit 2), not a crash: print the actionable one-liner.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    except ConfigurationError as exc:
+        # Uniform CLI convention: configuration/usage errors exit 2
+        # (violations exit 1, clean runs 0) across every subcommand.
+        print(f"error: {exc}", file=sys.stderr)
+        code = 2
+    if gate_log:
+        _record_gate_time(gate_log, args.command, perf_counter() - start, code)
+    return code
 
 
 if __name__ == "__main__":

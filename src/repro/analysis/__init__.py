@@ -7,11 +7,37 @@ export, critical path) plus the static schedule verifier
 (:mod:`repro.analysis.symbolic`), the determinism lint
 (:mod:`repro.analysis.lint`), the exhaustive match-order model checker
 with dynamic partial-order reduction
-(:mod:`repro.analysis.modelcheck`) and the engine differential gates:
+(:mod:`repro.analysis.modelcheck`), the engine differential gates:
 chaos (:mod:`repro.analysis.chaos`) and replay-vs-DES
-(:mod:`repro.analysis.replaygate`).
+(:mod:`repro.analysis.replaygate`), and the parametric proof layer —
+an exact symbolic abstract domain (:mod:`repro.analysis.abstract`)
+driving inductive schedule certificates
+(:mod:`repro.analysis.certify`) that hold for all ``P >= 2``.
 """
 
+from .abstract import (
+    AbstractDomainError,
+    Env,
+    Interval,
+    Lin,
+    RingSet,
+    SymSet,
+    const,
+    lin,
+    var,
+)
+from .certify import (
+    CertificateReport,
+    Obligation,
+    ProveReport,
+    crossvalidate_certificate,
+    crossvalidate_roles,
+    predicted_redundant_exact,
+    predicted_ring_ownership,
+    predicted_role,
+    prove_all,
+    prove_collective,
+)
 from .timeline import (
     TAG_NAMES,
     MessageSpan,
@@ -83,6 +109,25 @@ from .verify import (
 )
 
 __all__ = [
+    "AbstractDomainError",
+    "Env",
+    "Interval",
+    "Lin",
+    "RingSet",
+    "SymSet",
+    "const",
+    "lin",
+    "var",
+    "CertificateReport",
+    "Obligation",
+    "ProveReport",
+    "crossvalidate_certificate",
+    "crossvalidate_roles",
+    "predicted_redundant_exact",
+    "predicted_ring_ownership",
+    "predicted_role",
+    "prove_all",
+    "prove_collective",
     "TAG_NAMES",
     "MessageSpan",
     "message_spans",

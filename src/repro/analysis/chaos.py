@@ -36,6 +36,8 @@ from ..collectives.selector import LONG_MSG_SIZE, choose_bcast_name
 from ..errors import DeadlockError, ReproError, TransportExhaustedError
 from ..machine import Machine, MachineSpec, ideal
 from ..mpi import Job, RealBuffer
+from ..mpi.counters import TrafficCounters
+from ..mpi.runtime import JobResult
 from ..sim.faults import Blackout, FaultPlan, LatencySpike
 from ..util import scatter_size
 from .verify import REGISTRY
@@ -88,7 +90,7 @@ class ChaosCheck:
     def ok(self) -> bool:
         return self.status != "fail"
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "collective": self.collective,
             "nranks": self.nranks,
@@ -119,7 +121,7 @@ class ChaosReport:
     def failures(self) -> List[ChaosCheck]:
         return [c for c in self.checks if not c.ok]
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "seed": self.seed,
             "nbytes": self.nbytes,
@@ -168,7 +170,7 @@ def _make_buffers(name: str, nranks: int, nbytes: int) -> List[RealBuffer]:
     return bufs
 
 
-def _wire_dict(counters) -> Dict[str, int]:
+def _wire_dict(counters: TrafficCounters) -> Dict[str, int]:
     """The transport byte counters check (c) compares bitwise."""
     return {
         "messages": counters.messages,
@@ -180,7 +182,14 @@ def _wire_dict(counters) -> Dict[str, int]:
     }
 
 
-def _run(spec, name, nranks, nbytes, faults=None, reliable=None):
+def _run(
+    spec: MachineSpec,
+    name: str,
+    nranks: int,
+    nbytes: int,
+    faults: Optional[FaultPlan] = None,
+    reliable: Optional[bool] = None,
+) -> Tuple[JobResult, List[RealBuffer]]:
     """One job of registry collective *name* over fresh real buffers."""
     machine = Machine(spec, nranks)
     bufs = _make_buffers(name, nranks, nbytes)

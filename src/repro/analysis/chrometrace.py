@@ -9,7 +9,7 @@ categories. Handy for inspecting a broadcast schedule interactively.
 from __future__ import annotations
 
 import json
-from typing import IO, Union
+from typing import IO, Dict, Union
 
 from ..errors import ConfigurationError
 from ..sim import Trace
@@ -18,7 +18,7 @@ from .timeline import message_spans
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
 
-def to_chrome_trace(trace: Trace, process_name: str = "repro") -> dict:
+def to_chrome_trace(trace: Trace, process_name: str = "repro") -> Dict[str, object]:
     """The trace as a Trace-Event-Format dict (``traceEvents`` inside)."""
     events = [
         {

@@ -54,7 +54,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..collectives.schedule import ScheduleResult, cached_schedule
 from ..errors import ConfigurationError, ReproError
-from ..machine import Machine, MachineSpec, ideal
+from ..machine import Machine, MachineSpec, TransferPlan, ideal
 from ..mpi.runtime import Job
 from ..util import KIB, MIB
 from . import symbolic
@@ -92,7 +92,7 @@ class LinkLoad:
         """Seconds just to push this link's bytes through its capacity."""
         return self.nbytes / self.capacity
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "kind": self.kind,
@@ -159,7 +159,7 @@ class CostReport:
             )
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "collective": self.collective,
             "nranks": self.nranks,
@@ -198,7 +198,7 @@ class CostReport:
 # ---------------------------------------------------------------------------
 
 
-def _duration_lb(spec: MachineSpec, plan, nbytes: int) -> float:
+def _duration_lb(spec: MachineSpec, plan: TransferPlan, nbytes: int) -> float:
     """Minimum end-to-end seconds the transport pays for one message.
 
     Mirrors :mod:`repro.mpi.transport` exactly: under eager the payload
@@ -414,7 +414,7 @@ class GateReport:
         lines.append(f"verdict: {'OK' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "ok": self.ok,
             "counts": {k: {"passed": p, "total": t} for k, (p, t) in self.counts().items()},

@@ -6,8 +6,8 @@ machine must produce bit-identical transfer counts, timings, and cached
 results (the disk cache keys on content hashes, so hidden
 nondeterminism silently poisons it). This lint enforces that statically
 for the deterministic core — ``sim/``, ``collectives/``, ``mpi/``,
-``machine/``, ``analysis/`` — where neither wall-clock time nor global
-random state may be consulted:
+``machine/``, ``analysis/``, ``service/``, ``core/``, ``bench/`` —
+where neither wall-clock time nor global random state may be consulted:
 
 * ``time.time`` / ``monotonic`` / ``perf_counter`` (and ``_ns``
   variants): simulated time comes from the event loop, never the host.
@@ -19,10 +19,11 @@ random state may be consulted:
 
 A line can opt out with a trailing ``# det: allow`` comment — the only
 current uses are the solver's wall-time *telemetry* counters in
-``sim/flows.py`` and the simulation server's uptime bookkeeping in
-``service/server.py``, which measure how long something took without
-ever feeding back into simulated results. The marker keeps such
-exceptions visible in review rather than smuggled in.
+``sim/flows.py``, the simulation server's uptime bookkeeping in
+``service/server.py``, and the microbenchmark harness's stopwatch in
+``bench/micro.py``, which measure how long something took without ever
+feeding back into simulated results. The marker keeps such exceptions
+visible in review rather than smuggled in.
 
 Run as ``python -m repro.analysis.lint [paths...]`` (or ``repro lint``);
 with no arguments it checks the default target packages. Exit status is
@@ -54,8 +55,22 @@ __all__ = [
 #: ``service`` joined when the simulation server started executing the
 #: same gate jobs out-of-process — its results must be byte-identical to
 #: the in-process path, so only explicitly marked telemetry lines (the
-#: server loop's uptime clock) may touch the host clock.
-DEFAULT_TARGETS = ("sim", "collectives", "mpi", "machine", "analysis", "service")
+#: server loop's uptime clock) may touch the host clock. ``core`` and
+#: ``bench`` joined with the parametric proof layer: the high-level
+#: experiment drivers feed cached result files and BENCH ledgers, and
+#: the microbenchmark harness's stopwatch is exactly the kind of clock
+#: read that must stay visibly marked rather than drift into measured
+#: results.
+DEFAULT_TARGETS = (
+    "sim",
+    "collectives",
+    "mpi",
+    "machine",
+    "analysis",
+    "service",
+    "core",
+    "bench",
+)
 
 ALLOW_MARKER = "det: allow"
 

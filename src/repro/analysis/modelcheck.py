@@ -141,7 +141,17 @@ class _SendRecord:
 
     __slots__ = ("order", "src", "dst", "tag", "nbytes", "chunks", "chan_seq", "clock")
 
-    def __init__(self, order, src, dst, tag, nbytes, chunks, chan_seq, clock):
+    def __init__(
+        self,
+        order: int,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        chunks: Tuple[int, ...],
+        chan_seq: int,
+        clock: Tuple[int, ...],
+    ) -> None:
         self.order = order
         self.src = src
         self.dst = dst
@@ -155,14 +165,14 @@ class _SendRecord:
 class _PRecv:
     __slots__ = ("req",)
 
-    def __init__(self, req):
+    def __init__(self, req: Request) -> None:
         self.req = req
 
 
 class _PWait:
     __slots__ = ("requests",)
 
-    def __init__(self, requests):
+    def __init__(self, requests: List[Request]) -> None:
         self.requests = requests
 
 
@@ -202,11 +212,11 @@ class _Execution:
         self,
         nranks: int,
         program_factory: Callable[[RankContext], object],
-        buffers: Optional[List] = None,
+        buffers: Optional[List[object]] = None,
         faults: Optional[FaultPlan] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         wildcards: Optional[Dict[int, Set[int]]] = None,
-    ):
+    ) -> None:
         self.nranks = nranks
         self.buffers = buffers
         self.faults = faults if faults is not None and not faults.is_zero else None
@@ -498,7 +508,7 @@ class _Execution:
             return None
         return buffer_digests(self.buffers)
 
-    def wire_signature(self) -> Tuple:
+    def wire_signature(self) -> Tuple[object, ...]:
         return (
             tuple(self.sent_msgs),
             tuple(self.sent_bytes),
@@ -506,7 +516,7 @@ class _Execution:
             tuple(self.recv_bytes),
         )
 
-    def fingerprint(self) -> Tuple:
+    def fingerprint(self) -> Tuple[object, ...]:
         """Canonical state key for naive-mode deduplication.
 
         Interleaving-invariant identifiers only: per-rank program
@@ -517,7 +527,7 @@ class _Execution:
         ranks = []
         for r in range(self.nranks):
             if self.procs[r].finished:
-                st: Tuple = ("F",)
+                st: Tuple[object, ...] = ("F",)
             else:
                 parked = self._parked[r]
                 if parked is None:
@@ -546,7 +556,7 @@ class _Execution:
         )
 
 
-def buffer_digests(buffers: Sequence) -> Tuple[str, ...]:
+def buffer_digests(buffers: Sequence[object]) -> Tuple[str, ...]:
     """Per-rank SHA-256 of each buffer's full contents (hex)."""
     out = []
     for buf in buffers:
@@ -584,7 +594,7 @@ class DeadlockWitness:
     def __str__(self) -> str:
         return self.describe()
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "schedule": list(self.schedule),
             "steps": list(self.steps),
@@ -625,7 +635,7 @@ class MCReport:
             return None
         return DeadlockError(list(self.witness.blocked), witness=self.witness)
 
-    def summary_dict(self) -> dict:
+    def summary_dict(self) -> Dict[str, object]:
         return {
             "mode": self.mode,
             "plan": self.plan,
@@ -638,7 +648,7 @@ class MCReport:
             "violations": [str(v) for v in self.violations],
         }
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "collective": self.collective,
             "nranks": self.nranks,
@@ -688,7 +698,7 @@ class _Frame:
 
     __slots__ = ("enabled", "backtrack", "done", "sleep", "sigs")
 
-    def __init__(self, enabled: FrozenSet[int], sleep: Dict[int, _Sig]):
+    def __init__(self, enabled: FrozenSet[int], sleep: Dict[int, _Sig]) -> None:
         self.enabled = enabled
         self.backtrack: Set[int] = set()
         self.done: Set[int] = set()
@@ -703,7 +713,7 @@ class _Explorer:
         nranks: int,
         mode: str,
         max_states: int,
-    ):
+    ) -> None:
         self.build = build
         self.nranks = nranks
         self.mode = mode
@@ -714,7 +724,7 @@ class _Explorer:
         self.executions = 0
         self.complete = True
         self.stop = False
-        self.terminals: Dict[Tuple, Tuple[int, ...]] = {}
+        self.terminals: Dict[Tuple[object, ...], Tuple[int, ...]] = {}
         self.outcomes: Dict[str, int] = {}
         self.deadlock: Optional[Tuple[Tuple[int, ...], List[str]]] = None
         self.error: Optional[Tuple[Tuple[int, ...], str]] = None
@@ -779,7 +789,7 @@ class _Explorer:
             return
         if status == "exhausted":
             src, dst, tag, attempts, cause = ex.exhausted  # type: ignore[misc]
-            key: Tuple = ("exhausted", src, dst, tag)
+            key: Tuple[object, ...] = ("exhausted", src, dst, tag)
             label = f"exhausted {src}->{dst} tag={tag}"
         else:
             key = ("done", ex.payload_signature(), ex.wire_signature())
@@ -1081,7 +1091,7 @@ def check_program(
     return report
 
 
-def _collective_buffers(name: str, nranks: int, nbytes: int) -> List:
+def _collective_buffers(name: str, nranks: int, nbytes: int) -> List[object]:
     from .chaos import _make_buffers
 
     return _make_buffers(name, nranks, nbytes)
@@ -1172,7 +1182,7 @@ class MCCheck:
     def ok(self) -> bool:
         return self.status == "ok"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "collective": self.collective,
             "nranks": self.nranks,
@@ -1209,7 +1219,7 @@ class MCGridReport:
     def total_states(self) -> int:
         return sum(c.states for c in self.checks)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "nbytes": self.nbytes,
             "max_states": self.max_states,

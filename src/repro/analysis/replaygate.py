@@ -41,6 +41,7 @@ from ..collectives.schedule import cached_schedule
 from ..errors import ReplayUnsupportedError, ReproError
 from ..machine import Machine, MachineSpec, hornet
 from ..mpi import Job
+from ..mpi.counters import TrafficCounters
 from ..sim.replay import ReplayEngine, compile_schedule
 from .verify import REGISTRY
 
@@ -75,7 +76,7 @@ class ReplayCheck:
     def ok(self) -> bool:
         return self.status != "fail"
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "collective": self.collective,
             "nranks": self.nranks,
@@ -101,7 +102,7 @@ class ReplayReport:
     def failures(self) -> List[ReplayCheck]:
         return [c for c in self.checks if not c.ok]
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "machine": self.machine,
             "ok": self.ok,
@@ -126,7 +127,7 @@ class ReplayReport:
         return "\n".join(lines)
 
 
-def _counters_dict(c) -> Dict:
+def _counters_dict(c: TrafficCounters) -> Dict[str, object]:
     """Every wire counter the gate compares, bitwise."""
     return {
         "messages": c.messages,
@@ -142,7 +143,7 @@ def _counters_dict(c) -> Dict:
     }
 
 
-def _first_diff(des_map: Dict, rep_map: Dict) -> str:
+def _first_diff(des_map: Dict[str, object], rep_map: Dict[str, object]) -> str:
     """Name the first counter key whose values diverge (for the detail)."""
     for key in des_map:
         if des_map[key] != rep_map[key]:

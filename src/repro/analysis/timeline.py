@@ -13,7 +13,7 @@ A trace must have been recorded with :class:`repro.sim.Trace` (pass
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..sim import Trace
@@ -126,7 +126,9 @@ def rank_activity(trace: Trace, nranks: int) -> List[List[MessageSpan]]:
     return per_rank
 
 
-def concurrency_profile(trace: Trace, buckets: int = 50, tag: Optional[int] = None):
+def concurrency_profile(
+    trace: Trace, buckets: int = 50, tag: Optional[int] = None
+) -> Tuple[List[float], List[int]]:
     """In-flight transfer count over time: ``(times, counts)`` sampled at
     ``buckets`` uniform points.
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..collectives import (
     allgather_bruck,
@@ -67,7 +67,7 @@ from ..collectives import (
     scan_recursive_doubling,
     subtree_chunks,
 )
-from ..collectives.schedule import ScheduleResult, _describe_request
+from ..collectives.schedule import RecordedSend, ScheduleResult, _describe_request
 from ..errors import ConfigurationError, ReproError
 from ..mpi.comm import Communicator
 from ..mpi.context import RankContext
@@ -246,7 +246,7 @@ class VerifyReport:
         lines.append(f"  verdict: {'OK' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "collective": self.collective,
             "nranks": self.nranks,
@@ -388,7 +388,7 @@ def find_match_hazards(schedule: ScheduleResult) -> List[HazardPair]:
     overlapping. MPI's non-overtaking rule fixes their match order; the
     hazard records that reordering them would change chunk routing.
     """
-    groups: Dict[Tuple[int, int, int], List] = {}
+    groups: Dict[Tuple[int, int, int], List[RecordedSend]] = {}
     for s in schedule.sends:
         groups.setdefault((s.src, s.dst, s.tag), []).append(s)
     hazards: List[HazardPair] = []
@@ -428,21 +428,21 @@ _BLOCKED = object()
 class _RdvSend:
     __slots__ = ("req",)
 
-    def __init__(self, req: Request):
+    def __init__(self, req: Request) -> None:
         self.req = req
 
 
 class _RdvRecv:
     __slots__ = ("req",)
 
-    def __init__(self, req: Request):
+    def __init__(self, req: Request) -> None:
         self.req = req
 
 
 class _RdvWait:
     __slots__ = ("requests", "remaining")
 
-    def __init__(self, requests, remaining: int):
+    def __init__(self, requests: List[Request], remaining: int) -> None:
         self.requests = requests
         self.remaining = remaining
 
@@ -463,12 +463,12 @@ class RendezvousAnalyzer:
         nranks: int,
         program_factory: Callable[[RankContext], object],
         comm: Optional[Communicator] = None,
-    ):
+    ) -> None:
         self.comm = comm if comm is not None else Communicator.world(nranks)
         self.matching = [MatchingEngine(r) for r in range(nranks)]
         self.procs: List[Proc] = []
         self._parked: List[object] = [None] * self.comm.size
-        self._ready: "deque" = deque()
+        self._ready: "deque[Tuple[int, object]]" = deque()
         self._seq = 0
         for local in range(self.comm.size):
             glob = self.comm.to_global(local)
@@ -486,7 +486,7 @@ class RendezvousAnalyzer:
             return RendezvousReport(deadlocked=False)
         return self._diagnose()
 
-    def _advance(self, idx: int, value) -> None:
+    def _advance(self, idx: int, value: object) -> None:
         proc = self.procs[idx]
         while True:
             outcome = proc.advance(value)
@@ -497,12 +497,12 @@ class RendezvousAnalyzer:
                 return
             value = result
 
-    def _wakeup(self, idx: int, value) -> None:
+    def _wakeup(self, idx: int, value: object) -> None:
         self._parked[idx] = None
         self._ready.append((idx, value))
 
     # -- op execution ------------------------------------------------------
-    def _execute(self, idx: int, op):
+    def _execute(self, idx: int, op: object) -> object:
         glob = self.comm.to_global(idx)
         if isinstance(op, (SendOp, IsendOp)):
             req = Request(
@@ -543,7 +543,9 @@ class RendezvousAnalyzer:
             state = _RdvWait(requests, remaining)
             self._parked[idx] = state
 
-            def one_done(_req, i=idx, state=state):
+            def one_done(
+                _req: Request, i: int = idx, state: _RdvWait = state
+            ) -> None:
                 state.remaining -= 1
                 if state.remaining == 0:
                     self._wakeup(i, [r.status for r in state.requests])
@@ -717,14 +719,17 @@ def expected_redundant_native(nranks: int, nbytes: int = 1 << 20) -> Optional[in
     return sum(subtree_chunks(r, nranks) for r in range(nranks)) - nranks
 
 
-def _wrap(algo: Callable, *extra, **kw) -> Callable:
+BuildFn = Callable[[int, int, int], Callable[[RankContext], object]]
+
+
+def _wrap(algo: Callable[..., Any], *extra: Any, **kw: Any) -> BuildFn:
     """Adapt ``algo(ctx, *args)`` into a ``build(nranks, nbytes, root)``."""
 
-    def build(nranks: int, nbytes: int, root: int):
+    def build(nranks: int, nbytes: int, root: int) -> Callable[[RankContext], object]:
         args = [a(nranks, nbytes, root) if callable(a) else a for a in extra]
 
-        def factory(ctx: RankContext):
-            def program():
+        def factory(ctx: RankContext) -> object:
+            def program() -> Generator[Any, Any, Any]:
                 return (yield from algo(ctx, *args, **kw))
 
             return program()
@@ -734,11 +739,11 @@ def _wrap(algo: Callable, *extra, **kw) -> Callable:
     return build
 
 
-def _bcast_build(algo: Callable) -> Callable:
+def _bcast_build(algo: Callable[..., Any]) -> BuildFn:
     return _wrap(algo, lambda n, b, r: b, lambda n, b, r: r)
 
 
-def _block_build(algo: Callable) -> Callable:
+def _block_build(algo: Callable[..., Any]) -> BuildFn:
     """Collectives taking a per-rank block size instead of a total."""
     return _wrap(algo, lambda n, b, r: scatter_size(b, n))
 

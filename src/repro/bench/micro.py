@@ -228,11 +228,11 @@ def solver_churn(
 
             engine.schedule(cancel_delay, abort)
 
-    start = perf_counter()
+    start = perf_counter()  # det: allow — benchmark stopwatch, not sim time
     for r in range(nranks):
         engine.schedule(0.0, launch, r, 0)
     engine.run()
-    wall = perf_counter() - start
+    wall = perf_counter() - start  # det: allow — benchmark stopwatch
     return SolverChurnResult(
         nranks=nranks,
         flows_completed=net.completed_count,

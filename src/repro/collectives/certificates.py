@@ -1,0 +1,207 @@
+"""Inductive schedule certificates declared by the collective generators.
+
+Each certified collective declares the *shape* of its schedule — the
+phases it runs, in rank-relative chunk coordinates — so that
+:mod:`repro.analysis.certify` can generate and discharge the inductive
+proof obligations (base case after scatter, preservation across one
+ring/tree step, postcondition = full dissemination with an exact
+transfer count) symbolically in P. A passing certificate is a proof for
+all ``P >= 2``, not a sampled check.
+
+The declarations here are deliberately *data*: this package must not
+import :mod:`repro.analysis` (the analysis layer sits on top of the
+collectives layer). The symbolic machinery that consumes these
+declarations lives entirely in ``analysis/certify.py``; the invariants
+being certified are:
+
+* ring phases — relative rank r with post-scatter extent e owns, after
+  ring step s, exactly the offset interval ``[-min(s, R), e-1] mod P``
+  around itself, where R is its number of receiving steps (``P-e`` for
+  the tuned ring's send-only endpoints, ``P-1`` otherwise);
+* the binomial scatter — relative rank r ends owning exactly the chunk
+  run ``[r, r + subtree_chunks(r))``.
+
+Every registry collective that does **not** declare a certificate must
+carry an explicit waiver in :data:`UNCERTIFIED` — ``repro prove``
+enforces that rule, so new collectives cannot silently dodge the proof
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from .allgather import AG_TAG
+from .allgather_ring import RING_TAG
+from .allgatherv import AGV_TAG
+from .scatter import SCATTER_TAG
+
+__all__ = [
+    "RingPhase",
+    "ScatterPhase",
+    "ScheduleCertificate",
+    "CERTIFICATES",
+    "UNCERTIFIED",
+]
+
+
+@dataclass(frozen=True)
+class ScatterPhase:
+    """A binomial-tree scatter: the root's chunk run is recursively
+    halved down the tree; every relative rank ends with exactly its
+    subtree run ``[rel, rel + subtree_chunks(rel))``."""
+
+    tag: int
+
+
+@dataclass(frozen=True)
+class RingPhase:
+    """A (P-1)-step neighbour ring in relative chunk coordinates.
+
+    At step i, relative rank r forwards chunk ``(r - i + 1) mod P``
+    right and receives chunk ``(r - i) mod P`` from the left.
+
+    * ``tuned=False`` — the enclosed ring: full-duplex sendrecv at
+      every step, ``P*(P-1)`` transfers, ``e-1`` of each rank's
+      receives redundant when seeded by a scatter.
+    * ``tuned=True`` — the paper's non-enclosed ring: roles from
+      ``tuned_ring_role`` degrade to half-duplex for the last
+      ``step-1`` iterations, eliminating exactly the ``S-P`` redundant
+      transfers.
+    * ``seeded=True`` — base ownership is the binomial-scatter run
+      (extent ``subtree_chunks(rel)``); otherwise every rank starts
+      with exactly its own block (extent 1, as in a plain allgather).
+    """
+
+    tag: int
+    tuned: bool
+    seeded: bool
+
+
+PhaseDecl = Union[ScatterPhase, RingPhase]
+
+
+@dataclass(frozen=True)
+class ScheduleCertificate:
+    """The per-collective proof-obligation declaration."""
+
+    collective: str
+    phases: Tuple[PhaseDecl, ...]
+    #: Chunk/block ids are relative to a root (broadcast family) or
+    #: global rank-indexed (allgather family, root ignored).
+    relative_chunks: bool
+    #: Closed-form transfer counts assume every chunk carries bytes
+    #: (the paper's regime); ownership claims hold for every size.
+    counts_need_uniform: bool
+    description: str
+
+
+CERTIFICATES: Dict[str, ScheduleCertificate] = {
+    "scatter": ScheduleCertificate(
+        collective="scatter",
+        phases=(ScatterPhase(SCATTER_TAG),),
+        relative_chunks=True,
+        counts_need_uniform=True,
+        description="binomial scatter: subtree-run tiling, P-1 transfers",
+    ),
+    "bcast_native": ScheduleCertificate(
+        collective="bcast_native",
+        phases=(ScatterPhase(SCATTER_TAG), RingPhase(RING_TAG, tuned=False, seeded=True)),
+        relative_chunks=True,
+        counts_need_uniform=True,
+        description=(
+            "scatter + enclosed ring: P*(P-1) ring transfers, exactly "
+            "S-P of them redundant"
+        ),
+    ),
+    "bcast_opt": ScheduleCertificate(
+        collective="bcast_opt",
+        phases=(ScatterPhase(SCATTER_TAG), RingPhase(RING_TAG, tuned=True, seeded=True)),
+        relative_chunks=True,
+        counts_need_uniform=True,
+        description=(
+            "scatter + tuned ring: P*(P-1) - (S-P) ring transfers, zero "
+            "redundancy, deadlock-free pairing"
+        ),
+    ),
+    "allgather_ring": ScheduleCertificate(
+        collective="allgather_ring",
+        phases=(RingPhase(AG_TAG, tuned=False, seeded=False),),
+        relative_chunks=False,
+        counts_need_uniform=False,
+        description="pure ring allgather: P*(P-1) transfers, zero redundancy",
+    ),
+    "allgatherv_ring": ScheduleCertificate(
+        collective="allgatherv_ring",
+        phases=(RingPhase(AGV_TAG, tuned=False, seeded=False),),
+        relative_chunks=False,
+        counts_need_uniform=False,
+        description="ring allgatherv: P*(P-1) transfers, zero redundancy",
+    ),
+}
+
+
+#: Registry collectives with no parametric certificate, and why. Every
+#: entry is surfaced by ``repro prove`` — an uncertified collective is
+#: an explicit, reviewed decision, never a silent gap. The concrete
+#: gates (verify/mc/chaos/replay) still cover all of them at sampled P.
+UNCERTIFIED: Dict[str, str] = {
+    "bcast_rdbl": (
+        "recursive-doubling allgather phase: the XOR-partner exchange "
+        "pattern needs a power-of-two block-doubling domain, not affine "
+        "intervals mod P; pof2-only and concretely verified"
+    ),
+    "bcast_binomial": (
+        "full-buffer tree: no chunk tracking (every message is the whole "
+        "payload), so there is no ownership invariant to certify"
+    ),
+    "bcast_knomial4": (
+        "full-buffer k-nomial tree: untracked payloads, no per-chunk "
+        "ownership invariant"
+    ),
+    "bcast_chain": (
+        "pipelined segment chain: untracked payloads; segment flow is "
+        "time-indexed, not chunk-ownership-indexed"
+    ),
+    "gather": (
+        "binomial gather: ownership concentrates instead of disseminating; "
+        "the run-merging invariant is the scatter's mirror but the "
+        "postcondition is per-subtree, not full dissemination — concretely "
+        "verified at sampled P"
+    ),
+    "allgather_rdbl": (
+        "recursive doubling: XOR-partner block doubling, pof2-only; "
+        "outside the affine mod-P interval domain"
+    ),
+    "allgather_bruck": (
+        "Bruck dissemination: ownership is a union of power-of-two-spaced "
+        "strides, not a single affine interval; concretely verified"
+    ),
+    "reduce": "combining collective: data is reduced, ownership not conserved",
+    "reduce_scatter_halving": (
+        "combining collective with recursive halving: ownership not "
+        "conserved"
+    ),
+    "reduce_scatter_ring": "combining collective: ownership not conserved",
+    "allreduce_reduce_bcast": (
+        "combining composition (reduce + bcast): ownership not conserved "
+        "through the reduction"
+    ),
+    "allreduce_rabenseifner": (
+        "combining composition (reduce-scatter + allgather): ownership not "
+        "conserved through the reduction"
+    ),
+    "scan_linear": "combining collective (prefix sums): ownership not conserved",
+    "scan_rd": "combining collective (prefix sums): ownership not conserved",
+    "alltoall_pairwise": (
+        "personalized exchange: every (src, dst) pair carries distinct "
+        "data; the per-rank ownership lattice is a full P x P grid, out "
+        "of scope for the interval domain"
+    ),
+    "alltoall_bruck": (
+        "personalized exchange with log-phase aggregation: out of scope "
+        "for the interval domain"
+    ),
+    "barrier": "no payload: nothing to certify beyond completion",
+}

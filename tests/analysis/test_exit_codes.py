@@ -1,0 +1,81 @@
+"""One exit-code convention across every analysis subcommand.
+
+``python -m repro`` promises: 0 = all checks passed, 1 = at least one
+violation / failed obligation (for the differential gates, only under
+``--strict``), 2 = configuration or usage error. These tests pin the
+convention for verify/mc/cost/chaos/replay/prove/lint so a subcommand
+cannot silently drift — CI scripts branch on these codes.
+"""
+
+import pytest
+
+from repro.__main__ import main
+
+# Small problem sizes keep each invocation sub-second; the codes are
+# what is under test, not the analyses themselves.
+CLEAN_INVOCATIONS = [
+    ["verify", "--collective", "bcast_opt", "--nranks", "4"],
+    ["mc", "--collective", "bcast_opt", "--nranks", "3", "--nbytes", "1KiB"],
+    ["cost", "--collective", "bcast_opt", "--nranks", "4"],
+    ["chaos", "--collective", "bcast_opt", "--nranks", "4", "--nbytes", "1KiB"],
+    ["replay", "--collective", "bcast_opt", "--nranks", "4"],
+    ["prove", "--collective", "bcast_opt", "--xval", "2:6"],
+    ["lint"],
+]
+
+CONFIG_ERROR_INVOCATIONS = [
+    ["verify", "--collective", "no_such_collective", "--nranks", "4"],
+    ["verify", "--nranks", "bogus"],
+    ["verify", "--nranks", ""],
+    ["mc", "--nranks", "0"],
+    ["cost", "--collective", "no_such_collective"],
+    ["cost", "--nbytes", "one-meg"],
+    ["chaos", "--collective", "no_such_collective", "--nranks", "4"],
+    ["replay", "--collective", "no_such_collective", "--nranks", "4"],
+    ["prove", "--collective", "no_such_collective"],
+    ["prove", "--xval", "banana"],
+    ["prove", "--xval", "9:2"],
+    ["traffic", "--procs", "x,y"],
+]
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize(
+        "argv", CLEAN_INVOCATIONS, ids=lambda a: " ".join(a)
+    )
+    def test_clean_run_exits_zero(self, argv, capsys):
+        assert main(argv) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize(
+        "argv", CONFIG_ERROR_INVOCATIONS, ids=lambda a: " ".join(a)
+    )
+    def test_config_error_exits_two(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error" in err.lower()
+
+    def test_prove_strict_skipped_crossval_exits_one(self, capsys):
+        # --no-crossval downgrades the proof; --strict refuses the
+        # downgrade: that is a failed check (1), not a usage error (2).
+        argv = ["prove", "--collective", "bcast_opt", "--no-crossval"]
+        assert main(argv) == 0
+        assert main(argv + ["--strict"]) == 1
+        capsys.readouterr()
+
+    def test_lint_violation_exits_one(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        assert main(["lint", str(dirty)]) == 1
+        assert main(["lint", str(tmp_path / "missing.py")]) == 2
+        capsys.readouterr()
+
+    def test_tampered_certificate_exits_one(self, monkeypatch, capsys):
+        import repro.analysis.certify as certify
+
+        monkeypatch.setattr(
+            certify, "PAPER_CASES", {8: (99, 56, 44), 10: (15, 90, 75)}
+        )
+        argv = ["prove", "--collective", "bcast_opt", "--no-crossval"]
+        assert main(argv) == 1
+        capsys.readouterr()

@@ -161,7 +161,19 @@ class TestTree:
             "machine",
             "analysis",
             "service",
+            "core",
+            "bench",
         )
+
+    def test_default_targets_cover_bench_stopwatch(self):
+        # bench/micro.py's perf_counter stopwatch must stay under the
+        # sweep with explicit `# det: allow` escapes, and core/ (traffic
+        # accounting, sweep drivers, disk cache) must lint clean.
+        covered = set()
+        for root in default_target_paths():
+            covered.update(p.name for p in root.rglob("*.py"))
+        assert {"micro.py", "traffic.py"} <= covered
+        assert lint_paths(default_target_paths()) == []
 
     def test_service_server_loop_is_covered_and_clean(self):
         # The server's host-clock uses must stay visible as explicit
