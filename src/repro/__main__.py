@@ -24,6 +24,13 @@ Commands cover the common workflows without writing a script:
   pool plus the sharded result cache behind a local TCP socket, so
   repeated sweeps skip process start-up and share hot solver memos
   (``--status`` pings a running server, ``--stop`` shuts one down);
+* ``audit``   — re-execute a stored run artifact and diff it bitwise
+  against the recorded results (``--artifact`` on ``sweep``/``verify``/
+  ``cost``/``chaos``/``replay``/``mc``/``prove`` records one);
+* ``service-chaos`` — fault-injection gate for the simulation service
+  itself: kill pool workers mid-batch, sever the client socket
+  mid-stream, truncate cache shards, plant stale state files — every
+  scenario must end in bitwise-identical results or a typed error;
 * ``bench-report`` — print every ``BENCH_*.json`` performance
   trajectory file as one table;
 * ``trace``   — simulate one collective with tracing and report the
@@ -36,7 +43,8 @@ Commands cover the common workflows without writing a script:
   every certificate against concrete provenance at P in [2, 64];
   uncertified collectives must carry an explicit waiver;
 * ``lint``    — AST determinism lint over the simulation core;
-* ``cache``   — inspect or clear the persistent sweep-result cache.
+* ``cache``   — inspect, clear, or checksum-verify (``--fsck``) the
+  persistent sweep-result cache.
 
 Every analysis subcommand (``verify``/``cost``/``chaos``/``replay``/
 ``mc``/``prove``/``lint``) follows one exit-code convention: **0** all
@@ -81,6 +89,10 @@ Examples::
     python -m repro prove --collective bcast_opt --json
     python -m repro lint
     python -m repro cache --clear
+    python -m repro cache --fsck --repair
+    python -m repro sweep --nranks 8 --sizes 64KiB --artifact
+    python -m repro audit sweep-0123abcd4567
+    python -m repro service-chaos --seed 0
 """
 
 from __future__ import annotations
@@ -280,6 +292,40 @@ def _exec_cache(args):
     return None if args.no_cache else DiskCache(args.cache_dir)
 
 
+def _add_artifact_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--artifact",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist a replayable run artifact (bare --artifact uses "
+            "$REPRO_ARTIFACTS or <cache-dir>/artifacts; `repro audit` "
+            "re-executes and diffs it bitwise)"
+        ),
+    )
+
+
+def _persist_artifact(args, kind: str, config: dict, records) -> None:
+    """Freeze one completed run into the artifact store when asked.
+
+    Enabled by ``--artifact [DIR]`` or a non-empty ``REPRO_ARTIFACTS``
+    environment variable; a no-op otherwise, so the default CLI paths
+    stay write-free.
+    """
+    import os
+
+    dest = getattr(args, "artifact", None)
+    if dest is None and not os.environ.get("REPRO_ARTIFACTS", "").strip():
+        return
+    from .artifacts import ArtifactStore, RunArtifact
+
+    store = ArtifactStore(None if dest in (None, "auto") else dest)
+    path = store.save(RunArtifact.create(kind, config, records))
+    print(f"artifact: {path}")
+
+
 def cmd_sweep(args) -> int:
     sizes = args.sizes.split(",")
     sweep = Sweep(
@@ -306,6 +352,23 @@ def cmd_sweep(args) -> int:
         print(_chaos_stats_table(records))
     if cache is not None:
         print(cache.stats().describe())
+    import dataclasses
+
+    from .service import protocol as _sproto
+
+    _persist_artifact(
+        args,
+        "sweep",
+        {
+            "spec": _sproto.encode_spec(sweep.spec),
+            "points": _sproto.encode_points(sweep.points()),
+            "root": sweep.root,
+            "placement": sweep.placement,
+            "faults": _sproto.encode_faults(sweep.faults),
+            "reliable": _sproto.encode_reliable(sweep.reliable),
+        },
+        [dataclasses.asdict(rec) for rec in records],
+    )
     return 0
 
 
@@ -342,6 +405,10 @@ def cmd_figure(args) -> int:
 
 def cmd_cache(args) -> int:
     cache = DiskCache(args.cache_dir)
+    if args.fsck or args.repair:
+        report = cache.fsck(repair=args.repair)
+        print(report.describe())
+        return 0 if report.ok or args.repair else 1
     if args.clear:
         removed = cache.invalidate()
         print(f"cleared {removed} cached record(s) from {cache.dir}")
@@ -367,13 +434,25 @@ def cmd_serve(args) -> int:
 
     from .errors import ServiceError
     from .service import ServiceClient, SimulationServer
-    from .service.protocol import read_state, state_file_path
+    from .service.protocol import (
+        locate_live_server,
+        read_state,
+        state_file_path,
+    )
 
     if args.status or args.stop:
         state = state_file_path(args.state_file)
-        located = read_state(state)
+        had_file = read_state(state) is not None
+        located = locate_live_server(state)
         if located is None:
-            print(f"no server state file at {state}", file=sys.stderr)
+            if had_file:
+                print(
+                    f"removed stale state file at {state} "
+                    f"(the advertised server process is gone)",
+                    file=sys.stderr,
+                )
+            else:
+                print(f"no server state file at {state}", file=sys.stderr)
             return 1
         client = ServiceClient(*located)
         if args.stop:
@@ -594,6 +673,21 @@ def cmd_verify(args) -> int:
                     f"{r.collective} P={r.nranks}: {cost.transfers} "
                     f"transfer(s) but a zero time bound"
                 )
+    if not args.mc:
+        # Freeze the run for `repro audit` (--mc reports carry extra
+        # model-checker state the audit runner does not reproduce).
+        _persist_artifact(
+            args,
+            "verify",
+            {
+                "collective": args.collective,
+                "ranks": ranks,
+                "nbytes": nbytes,
+                "root": args.root,
+                "rendezvous": not args.no_rendezvous,
+            },
+            [r.to_dict() for r in reports],
+        )
     if args.json:
         print(_json.dumps([r.to_dict() for r in reports], indent=2))
         for line in cost_failures:
@@ -646,6 +740,16 @@ def cmd_mc(args) -> int:
     if args.grid:
         report = mc_grid(
             nbytes=nbytes, max_states=args.max_states, seed=args.seed
+        )
+        _persist_artifact(
+            args,
+            "mc",
+            {
+                "nbytes": nbytes,
+                "max_states": args.max_states,
+                "seed": args.seed,
+            },
+            report.to_dict(),
         )
         if args.json:
             print(_json.dumps(report.to_dict(), indent=2))
@@ -740,6 +844,18 @@ def cmd_cost(args) -> int:
             placement=args.placement,
             band=args.band,
             progress=None if args.json else print,
+        )
+        from .service import protocol as _sproto
+
+        _persist_artifact(
+            args,
+            "cost",
+            {
+                "spec": _sproto.encode_spec(spec),
+                "placement": args.placement,
+                "band": args.band,
+            },
+            report.to_dict(),
         )
         if args.json:
             print(_json.dumps(report.to_dict(), indent=2))
@@ -838,6 +954,20 @@ def cmd_chaos(args) -> int:
         nbytes=parse_size(args.nbytes),
         progress=None,
     )
+    from .service import protocol as _sproto
+
+    _persist_artifact(
+        args,
+        "chaos",
+        {
+            "spec": _sproto.encode_spec(spec),
+            "seed": args.seed,
+            "collectives": collectives,
+            "ranks": list(ranks),
+            "nbytes": parse_size(args.nbytes),
+        },
+        report.to_dict(),
+    )
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2))
         return (1 if not report.ok else 0) if args.strict else 0
@@ -881,6 +1011,18 @@ def cmd_replay(args) -> int:
         report = replay_gate(
             spec=spec, ranks=DEFAULT_RANKS, sizes=DEFAULT_SIZES, progress=None
         )
+        from .service import protocol as _sproto
+
+        _persist_artifact(
+            args,
+            "replay",
+            {
+                "spec": _sproto.encode_spec(spec),
+                "ranks": list(DEFAULT_RANKS),
+                "sizes": list(DEFAULT_SIZES),
+            },
+            report.to_dict(),
+        )
     else:
         if args.collective not in REGISTRY:
             print(
@@ -917,6 +1059,52 @@ def cmd_replay(args) -> int:
     return (1 if not report.ok else 0) if args.strict else 0
 
 
+def cmd_audit(args) -> int:
+    import json as _json
+
+    from .artifacts import ArtifactStore, audit_artifact
+
+    store = ArtifactStore(args.dir)
+    if args.artifact:
+        refs = [args.artifact]
+    else:
+        paths = store.list()
+        if not paths:
+            print(f"no artifacts under {store.dir}", file=sys.stderr)
+            return 2
+        refs = [p.stem for p in paths]
+    results = []
+    for ref in refs:
+        if not args.json:
+            print(f"auditing {ref} ...", flush=True)
+        results.append(audit_artifact(ref, store=store))
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        for r in results:
+            print(r.describe())
+        failed = sum(1 for r in results if not r.ok)
+        print(
+            f"{len(results) - failed}/{len(results)} artifact(s) reproduced"
+        )
+    return 1 if any(not r.ok for r in results) else 0
+
+
+def cmd_service_chaos(args) -> int:
+    import json as _json
+
+    from .service.chaos import service_chaos_gate
+
+    report = service_chaos_gate(
+        seed=args.seed, progress=None if args.json else print
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_bench_report(args) -> int:
     import json as _json
     from pathlib import Path
@@ -951,6 +1139,19 @@ def cmd_bench_report(args) -> int:
                 else:
                     table.add_row(gate, entry, "?")
             print(table)
+            # Robustness gates are result-integrity checks: a nonzero
+            # exit means stored results stopped reproducing (or the
+            # service lost data under chaos), which must not scroll by
+            # as just another table row.
+            for gate in ("audit", "service-chaos", "cache"):
+                entry = gates.get(gate)
+                code = entry.get("exit") if isinstance(entry, dict) else None
+                if isinstance(code, int) and code != 0:
+                    print(
+                        f"  WARNING: `repro {gate}` exited {code} — "
+                        f"recorded results did not reproduce bitwise"
+                    )
+                    failures += 1
         metric_keys = [
             k for k in sorted(data)
             if k not in ("benchmark", "date", "notes", "gates")
@@ -1073,6 +1274,17 @@ def cmd_prove(args) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        _persist_artifact(
+            args,
+            "prove",
+            {
+                "xval_lo": lo,
+                "xval_hi": hi,
+                "nbytes": nbytes,
+                "skip_crossval": args.no_crossval,
+            },
+            report.to_dict(),
+        )
         if args.json:
             print(_json.dumps(report.to_dict(), indent=2))
         else:
@@ -1154,6 +1366,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print fault-injection/ARQ telemetry after the results",
     )
+    _add_artifact_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figure", help="reproduce one paper figure grid")
@@ -1173,6 +1386,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--migrate",
         action="store_true",
         help="fold a legacy single-file cache into the sharded layout",
+    )
+    p.add_argument(
+        "--fsck",
+        action="store_true",
+        help=(
+            "verify per-line checksums and shard structure; exit 1 when "
+            "corruption is found"
+        ),
+    )
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="with --fsck: rewrite damaged shards, dropping corrupt lines",
     )
     p.set_defaults(func=cmd_cache)
 
@@ -1273,6 +1499,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="model-checker state budget per point (default: 20000)",
     )
     _add_serve_arg(p)
+    _add_artifact_arg(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -1331,6 +1558,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    _add_artifact_arg(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser(
@@ -1378,6 +1606,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
     _add_serve_arg(p)
+    _add_artifact_arg(p)
     p.set_defaults(func=cmd_cost)
 
     p = sub.add_parser(
@@ -1417,6 +1646,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
     _add_serve_arg(p)
+    _add_artifact_arg(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -1453,7 +1683,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
     _add_serve_arg(p)
+    _add_artifact_arg(p)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "audit",
+        help="re-execute a stored run artifact and diff it bitwise",
+    )
+    p.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        help=(
+            "artifact path or name (e.g. sweep-0123abcd4567); omitted = "
+            "audit every artifact in the store"
+        ),
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        help=(
+            "artifact store directory (default: $REPRO_ARTIFACTS or "
+            "<cache-dir>/artifacts)"
+        ),
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "service-chaos",
+        help=(
+            "fault-injection gate for the simulation service itself "
+            "(worker kills, severed sockets, torn shards, stale state)"
+        ),
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="scenario seed (default: 0)"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p.set_defaults(func=cmd_service_chaos)
 
     p = sub.add_parser(
         "bench-report",
@@ -1542,6 +1814,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="64KiB",
         help="message size for cross-validation points (default: 64KiB)",
     )
+    _add_artifact_arg(p)
     p.set_defaults(func=cmd_prove)
 
     p = sub.add_parser(
@@ -1593,7 +1866,7 @@ def main(argv=None) -> int:
     import os
     from time import perf_counter
 
-    from .errors import ConfigurationError
+    from .errors import ArtifactError, ConfigurationError
 
     args = build_parser().parse_args(argv)
     gate_log = os.environ.get("REPRO_GATE_TIMES")
@@ -1603,6 +1876,11 @@ def main(argv=None) -> int:
     except ServiceUnavailableError as exc:
         # An explicitly requested server that is not there is a usage
         # error (exit 2), not a crash: print the actionable one-liner.
+        print(f"error: {exc}", file=sys.stderr)
+        code = 2
+    except ArtifactError as exc:
+        # A missing/unreadable artifact reference is a usage error too;
+        # a *failed* audit (records no longer reproduce) exits 1.
         print(f"error: {exc}", file=sys.stderr)
         code = 2
     except ConfigurationError as exc:

@@ -1,0 +1,37 @@
+"""Durable, re-executable run artifacts and the ``repro audit`` gate.
+
+See :mod:`repro.artifacts.store` for the artifact schema and store
+layout, and :mod:`repro.artifacts.audit` for re-execution and bitwise
+diffing. ``docs/robustness.md`` documents the workflow.
+"""
+
+from .audit import AuditResult, audit_artifact, diff_payload, reexecute
+from .store import (
+    ARTIFACT_VERSION,
+    ARTIFACTS_ENV,
+    VOLATILE_KEYS,
+    ArtifactStore,
+    RunArtifact,
+    artifact_digest,
+    canonical_json,
+    default_store_dir,
+    env_fingerprint,
+    scrub,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ARTIFACTS_ENV",
+    "VOLATILE_KEYS",
+    "ArtifactStore",
+    "RunArtifact",
+    "AuditResult",
+    "artifact_digest",
+    "audit_artifact",
+    "canonical_json",
+    "default_store_dir",
+    "diff_payload",
+    "env_fingerprint",
+    "reexecute",
+    "scrub",
+]

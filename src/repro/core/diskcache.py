@@ -20,6 +20,15 @@ single-file layout could not offer at service scale:
   last load, so many clients of one long-running simulation service can
   share a warm cache directory without lost or torn records.
 
+Every line written carries a content checksum (``"sum"``: a SHA-256
+prefix over the canonical ``{"key", "record"}`` JSON), so a torn append,
+a truncated shard, or bit-rot is *detected*, not silently parsed into a
+wrong record: readers skip lines whose checksum does not match, and
+:meth:`DiskCache.fsck` (``repro cache --fsck``) reports every corrupt or
+checksum-less line and can atomically rewrite the damaged shards keeping
+only verified records. Lines from older cache versions (no ``"sum"``)
+remain readable; ``fsck(repair=True)`` upgrades them in place.
+
 Caches written by older versions (a single ``sweep-records.jsonl``) are
 read transparently and can be folded into the sharded layout with
 :meth:`DiskCache.migrate` (``repro cache --migrate``).
@@ -54,7 +63,14 @@ try:  # POSIX advisory locking; appends fall back to bare O_APPEND elsewhere
 except ImportError:  # pragma: no cover - non-posix platform
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["DiskCache", "CacheStats", "cache_key", "default_cache_dir", "CACHE_VERSION"]
+__all__ = [
+    "DiskCache",
+    "CacheStats",
+    "FsckReport",
+    "cache_key",
+    "default_cache_dir",
+    "CACHE_VERSION",
+]
 
 # Code-version salt folded into every key. Bump on any change that
 # alters simulated results (engine semantics, fluid model, algorithms).
@@ -144,19 +160,78 @@ class CacheStats:
         )
 
 
-def _parse_lines(text: str) -> Dict[str, RunRecord]:
-    """Parse JSON-lines cache content, skipping torn/stale lines."""
+def _line_checksum(key: str, record: dict) -> str:
+    """Content checksum of one cache line's payload (canonical JSON)."""
+    blob = json.dumps(
+        {"key": key, "record": record}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def _scan_lines(text: str):
+    """Parse JSON-lines cache content, verifying per-line checksums.
+
+    Returns ``(entries, corrupt, unsummed)``: the verified records, how
+    many lines were dropped (torn JSON, missing fields, or a checksum
+    mismatch — i.e. the payload was altered after it was written), and
+    how many parsed fine but predate per-line checksums.
+    """
     entries: Dict[str, RunRecord] = {}
+    corrupt = 0
+    unsummed = 0
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
         try:
             obj = json.loads(line)
-            entries[obj["key"]] = RunRecord(**obj["record"])
+            key = obj["key"]
+            record = obj["record"]
+            rec = RunRecord(**record)
         except (ValueError, KeyError, TypeError):
-            continue  # torn/stale line: ignore, do not crash
-    return entries
+            corrupt += 1  # torn/stale line: ignore, do not crash
+            continue
+        declared = obj.get("sum")
+        if declared is None:
+            unsummed += 1
+        elif declared != _line_checksum(key, record):
+            corrupt += 1
+            continue
+        entries[key] = rec
+    return entries, corrupt, unsummed
+
+
+def _parse_lines(text: str) -> Dict[str, RunRecord]:
+    """Parse JSON-lines cache content, skipping torn/corrupt lines."""
+    return _scan_lines(text)[0]
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Outcome of one :meth:`DiskCache.fsck` integrity scan."""
+
+    shards: int  # shard files scanned
+    entries: int  # verified records across all shards + legacy file
+    corrupt: int  # lines dropped: torn JSON or checksum mismatch
+    unsummed: int  # valid lines that predate per-line checksums
+    repaired: int  # corrupt+unsummed lines resolved by a repair rewrite
+
+    @property
+    def ok(self) -> bool:
+        return self.corrupt == 0
+
+    def describe(self) -> str:
+        verdict = "clean" if self.ok else "CORRUPT"
+        text = (
+            f"cache fsck: {verdict} — {self.entries} verified record(s) in "
+            f"{self.shards} shard(s); {self.corrupt} corrupt line(s), "
+            f"{self.unsummed} pre-checksum line(s)"
+        )
+        if self.repaired:
+            text += f"; repaired {self.repaired} (shards rewritten)"
+        elif self.corrupt or self.unsummed:
+            text += " (run with --repair to rewrite)"
+        return text
 
 
 class DiskCache:
@@ -230,8 +305,13 @@ class DiskCache:
 
     def _append(self, key: str, rec: RunRecord) -> None:
         self.shard_dir.mkdir(parents=True, exist_ok=True)
+        record = dataclasses.asdict(rec)
         line = (
-            json.dumps({"key": key, "record": dataclasses.asdict(rec)}, sort_keys=True)
+            json.dumps(
+                {"key": key, "record": record,
+                 "sum": _line_checksum(key, record)},
+                sort_keys=True,
+            )
             + "\n"
         )
         path = self._shard_path(self._prefix(key))
@@ -328,6 +408,78 @@ class DiskCache:
         return removed
 
     clear = invalidate
+
+    def _rewrite_shard(self, path: Path, entries: Dict[str, RunRecord]) -> None:
+        """Atomically replace one shard with verified, checksummed lines.
+
+        The exclusive flock on the live file serialises against
+        concurrent appenders; ``os.replace`` makes the swap atomic for
+        readers (they see either the old file or the repaired one,
+        never a half-written state).
+        """
+        lines = []
+        for key in sorted(entries):
+            record = dataclasses.asdict(entries[key])
+            lines.append(
+                json.dumps(
+                    {"key": key, "record": record,
+                     "sum": _line_checksum(key, record)},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        tmp = path.with_name(path.name + ".repair")
+        with open(path, "a", encoding="utf-8") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                tmp.write_text("".join(lines), encoding="utf-8")
+                os.replace(tmp, path)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Verify every stored line's checksum; optionally repair.
+
+        Detects torn appends, truncated shards and bit-rot (checksum
+        mismatches). With ``repair=True``, shards holding corrupt or
+        pre-checksum lines are atomically rewritten keeping only the
+        verified records — corrupt lines are dropped (their points will
+        simply re-simulate), legacy lines gain checksums.
+        """
+        shards = 0
+        total = 0
+        corrupt = 0
+        unsummed = 0
+        repaired = 0
+        if self.shard_dir.is_dir():
+            for path in sorted(self.shard_dir.glob("*.jsonl")):
+                shards += 1
+                entries, bad, old = _scan_lines(
+                    path.read_text(encoding="utf-8")
+                )
+                total += len(entries)
+                corrupt += bad
+                unsummed += old
+                if repair and (bad or old):
+                    self._rewrite_shard(path, entries)
+                    repaired += bad + old
+                    # Drop the in-memory copy: offsets no longer match.
+                    self._shards.pop(path.stem, None)
+                    self._offsets.pop(path.stem, None)
+        if self.file.exists():
+            legacy, bad, old = _scan_lines(self.file.read_text(encoding="utf-8"))
+            total += len(legacy)
+            corrupt += bad
+            unsummed += old  # legacy lines never carry checksums
+        return FsckReport(
+            shards=shards,
+            entries=total,
+            corrupt=corrupt,
+            unsummed=unsummed,
+            repaired=repaired,
+        )
 
     def stats(self) -> CacheStats:
         return CacheStats(

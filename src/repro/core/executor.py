@@ -32,9 +32,10 @@ where ``multiprocessing`` is unavailable or unwanted.
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
+import signal
 import traceback
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import SweepExecutionError
@@ -43,7 +44,20 @@ from .api import simulate_bcast
 from .diskcache import DiskCache, cache_key
 from .report import RunRecord
 
-__all__ = ["SweepExecutor", "resolve_jobs", "group_points"]
+__all__ = [
+    "SweepExecutor",
+    "resolve_jobs",
+    "group_points",
+    "CHAOS_CRASH_ENV",
+]
+
+#: Chaos-injection latch directory (service-chaos gate + crash tests).
+#: When set, a worker about to simulate point ``(alg, nranks, nbytes)``
+#: first checks ``$REPRO_CHAOS_CRASH/<alg>-<nranks>-<nbytes>``: a file
+#: holding a positive integer N makes the worker decrement it and
+#: SIGKILL itself — deterministically reproducing "this exact point
+#: crashed its worker N times" without mocking the pool.
+CHAOS_CRASH_ENV = "REPRO_CHAOS_CRASH"
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -66,6 +80,25 @@ def _warm_worker() -> None:
     from . import api  # noqa: F401
 
 
+def _chaos_crash_hook(point) -> None:
+    """Kill this worker if a chaos latch names *point* (see
+    :data:`CHAOS_CRASH_ENV`). No-op unless the env var is set."""
+    latch_dir = os.environ.get(CHAOS_CRASH_ENV, "")
+    if not latch_dir:
+        return
+    latch = (
+        Path(latch_dir) / f"{point.algorithm}-{point.nranks}-{point.nbytes}"
+    )
+    try:
+        remaining = int(latch.read_text(encoding="utf-8").strip())
+    except (OSError, ValueError):
+        return
+    if remaining <= 0:
+        return
+    latch.write_text(str(remaining - 1), encoding="utf-8")
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _simulate_point(task):
     """Worker entry point: simulate one point, never raise.
 
@@ -74,6 +107,7 @@ def _simulate_point(task):
     type does not pickle.
     """
     spec, point, root, placement, faults, reliable = task
+    _chaos_crash_hook(point)
     try:
         rec = simulate_bcast(
             spec,
@@ -153,35 +187,57 @@ class SweepExecutor:
 
     # -- internals -----------------------------------------------------
     @staticmethod
+    def _typed_error(point, error_type: str, message: str, tb: str = ""):
+        """Map a wire/worker ``error_type`` back to the richest typed
+        exception: quarantine and deadline failures keep their identity
+        across the process (and service) boundary."""
+        from ..errors import PoisonPointError, ServiceDeadlineError
+
+        if error_type == "PoisonPointError":
+            return PoisonPointError(point, error_type, message, tb)
+        if error_type == "ServiceDeadlineError":
+            return ServiceDeadlineError(point, error_type, message, tb)
+        return SweepExecutionError(point, error_type, message, tb)
+
+    @staticmethod
     def _unwrap(outcome, point) -> RunRecord:
         if outcome[0] == "ok":
             return outcome[1]
         _, error_type, message, tb = outcome
-        raise SweepExecutionError(point, error_type, message, tb)
+        raise SweepExecutor._typed_error(point, error_type, message, tb)
 
     def _run_parallel(
         self, tasks: Sequence[tuple], points: Sequence
     ) -> List[RunRecord]:
+        """Fan out over a fault-tolerant pool: a SIGKILL'd worker costs a
+        respawn and a re-dispatch of the in-flight batches, not the
+        sweep; a point that keeps killing workers surfaces as a typed
+        :class:`~repro.errors.PoisonPointError`."""
+        from ..service.resilience import ResilientPool
+
         records: List[Optional[RunRecord]] = [None] * len(tasks)
         failures: dict = {}  # index -> SweepExecutionError
         workers = min(self.jobs, len(tasks))
         batches = group_points(
             [task[1] for task in tasks], list(range(len(tasks))), workers
         )
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, initializer=_warm_worker
-        ) as pool:
-            futures = {
-                pool.submit(_simulate_batch, [tasks[i] for i in batch]): batch
-                for batch in batches
-            }
-            for fut in concurrent.futures.as_completed(futures):
-                batch = futures[fut]
-                for i, outcome in zip(batch, fut.result()):
-                    try:
-                        records[i] = self._unwrap(outcome, points[i])
-                    except SweepExecutionError as exc:
-                        failures[i] = exc  # drain the rest, then raise
+        task_map = dict(enumerate(tasks))
+
+        def poison_key(i: int) -> str:
+            p = points[i]
+            return f"{p.algorithm}:{p.nranks}:{p.nbytes}"
+
+        pool = ResilientPool(jobs=workers, initializer=_warm_worker)
+        try:
+            for i, outcome in pool.run(
+                _simulate_batch, batches, task_map, poison_key=poison_key
+            ):
+                try:
+                    records[i] = self._unwrap(outcome, points[i])
+                except SweepExecutionError as exc:
+                    failures[i] = exc  # drain the rest, then raise
+        finally:
+            pool.shutdown(wait=True)
         if failures:
             # Deterministic choice regardless of completion order: the
             # failure at the earliest point index.
@@ -212,9 +268,16 @@ class SweepExecutor:
                 records[local] = outcome[1]
             else:
                 _, error_type, message, tb = outcome
-                failures[local] = ServiceJobError(
-                    points[cold[local]], error_type, message, tb
-                )
+                # Quarantine/deadline failures keep their typed identity;
+                # everything else becomes the generic service job error.
+                if error_type in ("PoisonPointError", "ServiceDeadlineError"):
+                    failures[local] = self._typed_error(
+                        points[cold[local]], error_type, message, tb
+                    )
+                else:
+                    failures[local] = ServiceJobError(
+                        points[cold[local]], error_type, message, tb
+                    )
         if failures:
             raise failures[min(failures)]
         missing = [i for i, rec in enumerate(records) if rec is None]

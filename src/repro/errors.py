@@ -22,9 +22,13 @@ __all__ = [
     "CollectiveError",
     "ConfigurationError",
     "SweepExecutionError",
+    "PoisonPointError",
     "ServiceError",
     "ServiceUnavailableError",
     "ServiceJobError",
+    "ServiceDeadlineError",
+    "ArtifactError",
+    "AuditMismatchError",
 ]
 
 
@@ -171,6 +175,20 @@ class SweepExecutionError(ReproError):
         super().__init__(detail)
 
 
+class PoisonPointError(SweepExecutionError):
+    """A sweep point repeatedly crashed pool workers and was quarantined.
+
+    The fault-tolerant pool (:class:`repro.service.resilience.ResilientPool`)
+    respawns crashed worker pools and re-dispatches the in-flight points
+    one by one; a point whose simulation keeps killing its worker — a
+    segfaulting extension, an OOM kill — is quarantined after a bounded
+    number of attempts and surfaces here, naming the offending point
+    instead of sinking the whole sweep. Carries the same payload as
+    :class:`SweepExecutionError` (``.point``, ``.error_type``,
+    ``.worker_traceback``).
+    """
+
+
 class ServiceError(ReproError):
     """Base class for simulation-service (``repro serve``) failures."""
 
@@ -200,5 +218,32 @@ class ServiceJobError(SweepExecutionError, ServiceError):
     (``.point``), original exception class name (``.error_type``) and
     server-side traceback text (``.worker_traceback``) all survive the
     wire.
+    """
+
+
+class ServiceDeadlineError(ServiceJobError):
+    """A service job exceeded its wall-clock deadline and was cancelled.
+
+    Raised (or streamed per point as ``error_type ==
+    "ServiceDeadlineError"``) when a sweep carries a ``deadline_s`` and
+    the warm pool cannot finish the remaining points inside it. The
+    server cancels what has not started and abandons what has; finished
+    points are still delivered, so a client can resubmit just the
+    missing remainder.
+    """
+
+
+class ArtifactError(ReproError):
+    """A run artifact cannot be stored, located, or decoded."""
+
+
+class AuditMismatchError(ReproError):
+    """Re-executing a run artifact produced different bytes.
+
+    Raised by :func:`repro.artifacts.audit.audit_artifact` callers that
+    asked for exceptions (the CLI reports it as exit 1 instead): either
+    the artifact's internal digests no longer match its payload (the
+    file was tampered with or torn) or a faithful re-execution diverged
+    from the recorded records.
     """
 

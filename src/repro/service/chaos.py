@@ -1,0 +1,483 @@
+"""Seeded service-chaos gate: kill workers, sever sockets, tear shards.
+
+The fault-injection doctrine of the simulation layers (the ``chaos``
+differential gate) asserted: under injected faults, a collective either
+delivers bit-identical payloads or fails with a typed error. This gate
+asserts the same doctrine one layer up, for the *infrastructure* the
+results flow through — the persistent service, its worker pool, its
+wire protocol and its sharded result cache:
+
+* **worker kill mid-batch** — a sweep point SIGKILLs its pool worker
+  once (via the deterministic :data:`~repro.core.executor.CHAOS_CRASH_ENV`
+  latch); the server must respawn the pool, re-dispatch only the
+  in-flight work and stream records bitwise-equal to a fault-free
+  serial reference;
+* **poison point** — a point that kills workers beyond the quarantine
+  threshold must come back as a typed ``PoisonPointError`` *naming the
+  point*, while every other point still matches the reference;
+* **severed socket** — a proxy cuts the client's response stream after
+  the first record; the client must resume, re-request only the
+  missing points, and assemble a bitwise-equal result set;
+* **torn shard** — a truncated cache shard must be detected by the
+  per-line checksums (``fsck``), repaired, and re-simulation must
+  reproduce the reference bitwise instead of parsing garbage;
+* **stale state file** — discovery against the advertisement of a
+  SIGKILL'd (dead-pid) server must report "no server" and remove the
+  stale file, while a live advertisement keeps working.
+
+Every scenario is seeded and deterministic: the gate either passes or
+names the scenario and the divergence. Run it with
+``python -m repro service-chaos`` (exit 1 on any failure with
+``--strict``); CI runs it in the verify job.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from ..core.diskcache import DiskCache
+from ..core.executor import CHAOS_CRASH_ENV, SweepExecutor
+from ..core.sweep import SweepPoint
+from ..machine import ideal
+from . import protocol
+from .client import ServiceClient
+from .server import SimulationServer
+
+__all__ = ["ServiceChaosCheck", "ServiceChaosReport", "service_chaos_gate"]
+
+# One small, memo-friendly grid shared by every scenario: two algorithm
+# families at two sizes — enough to exercise batching, cheap enough for CI.
+_POINTS = [
+    SweepPoint("binomial", 8, 1024),
+    SweepPoint("binomial", 8, 4096),
+    SweepPoint("scatter_ring_opt", 8, 1024),
+    SweepPoint("scatter_ring_opt", 8, 4096),
+]
+
+
+@dataclass(frozen=True)
+class ServiceChaosCheck:
+    """One scenario's verdict."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class ServiceChaosReport:
+    """Verdicts for every service-chaos scenario."""
+
+    checks: Tuple[ServiceChaosCheck, ...]
+    seed: int
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> List[ServiceChaosCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def describe(self) -> str:
+        lines = []
+        for c in self.checks:
+            mark = "ok" if c.ok else "FAIL"
+            line = f"  [{mark:>4}] {c.name}"
+            if c.detail and not c.ok:
+                line += f": {c.detail}"
+            lines.append(line)
+        passed = sum(1 for c in self.checks if c.ok)
+        lines.append(
+            f"service-chaos gate (seed={self.seed}): "
+            f"{passed}/{len(self.checks)} scenario(s) survived"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+
+# -- plumbing ----------------------------------------------------------
+@contextmanager
+def _server(jobs: int, cache_dir: Optional[Path], state_file: Path):
+    cache = DiskCache(cache_dir) if cache_dir is not None else None
+    server = SimulationServer(
+        host="127.0.0.1", port=0, jobs=jobs, cache=cache,
+        state_file=state_file,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        thread.join(30)
+
+
+@contextmanager
+def _env(name: str, value: str):
+    prior = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = prior
+
+
+def _reference(points) -> list:
+    """Fault-free serial records (the bitwise baseline)."""
+    return SweepExecutor(jobs=1, cache=None, serve=False).run(ideal(), points)
+
+
+def _sweep_all(client: ServiceClient, points) -> dict:
+    """Drain a service sweep into {index: outcome}."""
+    outcomes = {}
+    for i, outcome in client.sweep(ideal(), points):
+        outcomes[i] = outcome
+    return outcomes
+
+
+def _diff_records(reference, outcomes, skip=()) -> List[str]:
+    """Bitwise comparison of outcomes against the reference records."""
+    problems = []
+    for i, ref in enumerate(reference):
+        if i in skip:
+            continue
+        got = outcomes.get(i)
+        if got is None:
+            problems.append(f"point {i}: no outcome delivered")
+        elif got[0] != "ok":
+            problems.append(f"point {i}: {got[1]}: {got[2]}")
+        elif got[1] != ref:
+            problems.append(f"point {i}: record differs from reference")
+    return problems
+
+
+def _latch_for(latch_dir: Path, point: SweepPoint, crashes: int) -> None:
+    latch_dir.mkdir(parents=True, exist_ok=True)
+    name = f"{point.algorithm}-{point.nranks}-{point.nbytes}"
+    (latch_dir / name).write_text(str(crashes), encoding="utf-8")
+
+
+# -- scenarios ---------------------------------------------------------
+def _check_worker_kill(tmp: Path, seed: int) -> ServiceChaosCheck:
+    """A point SIGKILLs its worker once; the sweep must still complete
+    with records bitwise-equal to the fault-free reference."""
+    name = "worker-kill-mid-batch"
+    points = list(_POINTS)
+    reference = _reference(points)
+    victim = points[seed % len(points)]
+    latch = tmp / "latch-kill"
+    _latch_for(latch, victim, crashes=1)
+    with _env(CHAOS_CRASH_ENV, str(latch)):
+        with _server(2, tmp / "cache-kill", tmp / "state-kill.json") as srv:
+            outcomes = _sweep_all(
+                ServiceClient("127.0.0.1", srv.port), points
+            )
+            respawns = srv._pool.respawns_total
+    problems = _diff_records(reference, outcomes)
+    if respawns < 1:
+        problems.append("pool never respawned — the kill latch did not fire")
+    if problems:
+        return ServiceChaosCheck(name, False, "; ".join(problems))
+    return ServiceChaosCheck(
+        name, True, f"{respawns} respawn(s), records bitwise-equal"
+    )
+
+
+def _check_poison_point(tmp: Path, seed: int) -> ServiceChaosCheck:
+    """A point that keeps killing workers must be quarantined with a
+    typed PoisonPointError naming it; siblings must match the reference."""
+    name = "poison-point-quarantine"
+    points = list(_POINTS)
+    reference = _reference(points)
+    victim_idx = seed % len(points)
+    victim = points[victim_idx]
+    latch = tmp / "latch-poison"
+    _latch_for(latch, victim, crashes=99)
+    with _env(CHAOS_CRASH_ENV, str(latch)):
+        with _server(2, tmp / "cache-poison", tmp / "state-poison.json") as srv:
+            outcomes = _sweep_all(
+                ServiceClient("127.0.0.1", srv.port), points
+            )
+    problems = _diff_records(reference, outcomes, skip={victim_idx})
+    got = outcomes.get(victim_idx)
+    if got is None:
+        problems.append("poisoned point produced no outcome at all")
+    elif got[0] != "err" or got[1] != "PoisonPointError":
+        problems.append(
+            f"poisoned point came back as {got[0]}/{got[1] if got[0] == 'err' else 'record'}, "
+            f"expected a typed PoisonPointError"
+        )
+    elif str(victim.algorithm) not in got[2] or str(victim.nbytes) not in got[2]:
+        problems.append(
+            f"PoisonPointError message does not name the point: {got[2]!r}"
+        )
+    if problems:
+        return ServiceChaosCheck(name, False, "; ".join(problems))
+    return ServiceChaosCheck(
+        name, True, "typed PoisonPointError named the point; siblings bitwise-equal"
+    )
+
+
+def _hard_close(sock: socket.socket) -> None:
+    """Close *sock* so the peer sees EOF immediately.
+
+    ``close()`` alone is not enough: the pump thread blocked in
+    ``recv()`` on the same socket keeps the kernel object alive, so no
+    FIN is sent and the peer blocks until its own timeout.
+    ``shutdown()`` acts on the socket itself, regardless of other
+    threads, delivering EOF to both the peer and the pump thread.
+    """
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+class _SeveringProxy:
+    """TCP proxy that cuts the first connection's response stream after
+    one full line, then forwards later connections untouched."""
+
+    def __init__(self, backend_host: str, backend_port: int):
+        self.backend = (backend_host, backend_port)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.connections = 0
+        self.severed = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.sock.settimeout(0.2)
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            threading.Thread(
+                target=self._handle,
+                args=(conn, self.connections == 1),
+                daemon=True,
+            ).start()
+
+    def _handle(self, conn: socket.socket, sever: bool) -> None:
+        try:
+            upstream = socket.create_connection(self.backend, timeout=10)
+        except OSError:
+            conn.close()
+            return
+
+        def pump_request() -> None:
+            try:
+                while True:
+                    data = conn.recv(65536)
+                    if not data:
+                        break
+                    upstream.sendall(data)
+                upstream.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+        threading.Thread(target=pump_request, daemon=True).start()
+        try:
+            if sever:
+                # Forward exactly one response line, then cut the wire.
+                buf = b""
+                while b"\n" not in buf:
+                    data = upstream.recv(65536)
+                    if not data:
+                        break
+                    buf += data
+                line, _, _rest = buf.partition(b"\n")
+                conn.sendall(line + b"\n")
+                self.severed += 1
+                _hard_close(conn)
+                _hard_close(upstream)
+                return
+            while True:
+                data = upstream.recv(65536)
+                if not data:
+                    break
+                conn.sendall(data)
+        except OSError:
+            pass
+        finally:
+            _hard_close(conn)
+            _hard_close(upstream)
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self._thread.join(5)
+
+
+def _check_severed_socket(tmp: Path, seed: int) -> ServiceChaosCheck:
+    """The response stream dies after one record; the client must resume
+    with only the missing points and assemble a bitwise-equal set."""
+    name = "severed-socket-resume"
+    points = list(_POINTS)
+    reference = _reference(points)
+    with _server(2, tmp / "cache-sever", tmp / "state-sever.json") as srv:
+        proxy = _SeveringProxy("127.0.0.1", srv.port)
+        try:
+            client = ServiceClient("127.0.0.1", proxy.port)
+            outcomes = _sweep_all(client, points)
+        finally:
+            proxy.close()
+    problems = _diff_records(reference, outcomes)
+    if proxy.severed < 1:
+        problems.append("proxy never severed a connection")
+    if proxy.connections < 2:
+        problems.append(
+            f"client never resumed (only {proxy.connections} connection(s))"
+        )
+    if problems:
+        return ServiceChaosCheck(name, False, "; ".join(problems))
+    return ServiceChaosCheck(
+        name,
+        True,
+        f"stream cut after 1 record; resumed over "
+        f"{proxy.connections} connection(s), records bitwise-equal",
+    )
+
+
+def _check_torn_shard(tmp: Path, seed: int) -> ServiceChaosCheck:
+    """A shard truncated mid-line must be detected, repaired, and the
+    re-simulated records must match the reference bitwise."""
+    name = "torn-shard-fsck"
+    points = list(_POINTS)
+    reference = _reference(points)
+    cache_dir = tmp / "cache-torn"
+    SweepExecutor(jobs=1, cache=DiskCache(cache_dir), serve=False).run(
+        ideal(), points
+    )
+    shards = sorted((cache_dir / "shards").glob("*.jsonl"))
+    if not shards:
+        return ServiceChaosCheck(name, False, "cache wrote no shards")
+    victim = shards[seed % len(shards)]
+    blob = victim.read_bytes()
+    victim.write_bytes(blob[: max(1, len(blob) - 17)])  # torn mid-line
+
+    cache = DiskCache(cache_dir)
+    report = cache.fsck()
+    if report.corrupt < 1:
+        return ServiceChaosCheck(
+            name, False, "fsck did not detect the truncated shard"
+        )
+    repair = cache.fsck(repair=True)
+    if repair.repaired < 1:
+        return ServiceChaosCheck(name, False, "fsck --repair rewrote nothing")
+    after = DiskCache(cache_dir)
+    if not after.fsck().ok:
+        return ServiceChaosCheck(name, False, "shard still corrupt after repair")
+    rerun = SweepExecutor(jobs=1, cache=after, serve=False).run(ideal(), points)
+    if rerun != reference:
+        return ServiceChaosCheck(
+            name, False, "post-repair records differ from the reference"
+        )
+    return ServiceChaosCheck(
+        name,
+        True,
+        f"{report.corrupt} torn line(s) detected, repaired, records bitwise-equal",
+    )
+
+
+def _check_stale_state(tmp: Path, seed: int) -> ServiceChaosCheck:
+    """Discovery must reject (and remove) the advertisement of a dead
+    server, and keep honouring a live one."""
+    name = "stale-state-file"
+    stale = tmp / "stale-state.json"
+    # A pid that existed and is now certainly dead: a reaped child.
+    proc = subprocess.Popen(
+        [sys.executable, "-c", "pass"],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    proc.wait()
+    protocol.write_state(stale, "127.0.0.1", 1, proc.pid)
+    located = protocol.locate_live_server(stale)
+    problems = []
+    if located is not None:
+        problems.append(f"discovery trusted a dead pid {proc.pid}")
+    if stale.exists():
+        problems.append("stale state file was not removed")
+    live = tmp / "live-state.json"
+    protocol.write_state(live, "127.0.0.1", 12345, os.getpid())
+    if protocol.locate_live_server(live) != ("127.0.0.1", 12345):
+        problems.append("discovery rejected a live advertisement")
+    if not live.exists():
+        problems.append("live state file was removed")
+    if problems:
+        return ServiceChaosCheck(name, False, "; ".join(problems))
+    return ServiceChaosCheck(
+        name, True, "dead advertisement removed, live one honoured"
+    )
+
+
+_SCENARIOS: List[Callable[[Path, int], ServiceChaosCheck]] = [
+    _check_worker_kill,
+    _check_poison_point,
+    _check_severed_socket,
+    _check_torn_shard,
+    _check_stale_state,
+]
+
+
+def service_chaos_gate(
+    seed: int = 0,
+    tmp: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ServiceChaosReport:
+    """Run every scenario in an isolated scratch directory."""
+    import tempfile
+
+    checks = []
+    with tempfile.TemporaryDirectory(prefix="repro-service-chaos-") as scratch:
+        base = Path(tmp) if tmp is not None else Path(scratch)
+        for scenario in _SCENARIOS:
+            if progress is not None:
+                progress(f"service-chaos: {scenario.__name__.lstrip('_')} ...")
+            try:
+                check = scenario(base, seed)
+            except Exception as exc:  # noqa: BLE001 - a crash is a failure
+                check = ServiceChaosCheck(
+                    scenario.__name__.lstrip("_").replace("_check_", ""),
+                    False,
+                    f"scenario raised {type(exc).__name__}: {exc}",
+                )
+            checks.append(check)
+    return ServiceChaosReport(checks=tuple(checks), seed=seed)

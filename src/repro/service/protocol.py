@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import socket
 from pathlib import Path
 from typing import IO, Iterable, List, Optional, Tuple
@@ -63,7 +64,10 @@ __all__ = [
     "decode_reliable",
     "state_file_path",
     "read_state",
+    "read_state_full",
     "write_state",
+    "pid_alive",
+    "locate_live_server",
     "open_connection",
 ]
 
@@ -179,6 +183,65 @@ def read_state(path: Path) -> Optional[Tuple[str, int]]:
         return str(data["host"]), int(data["port"])
     except (OSError, ValueError, KeyError, TypeError):
         return None
+
+
+def read_state_full(path: Path) -> Optional[Tuple[str, int, int]]:
+    """(host, port, pid) from a state file, or ``None`` if unusable.
+
+    ``pid`` is 0 when the file predates pid recording (or recorded
+    garbage) — callers must treat 0 as "no liveness information".
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        host, port = str(data["host"]), int(data["port"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    try:
+        pid = int(data.get("pid", 0))
+    except (ValueError, TypeError):
+        pid = 0
+    return host, port, max(0, pid)
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a *local* server pid.
+
+    ``pid <= 0`` carries no information and reads as alive (never signal
+    pid 0 — that is our own process group). A pid we may not signal
+    (EPERM) exists, hence alive.
+    """
+    if pid <= 0:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def locate_live_server(path: Path) -> Optional[Tuple[str, int]]:
+    """(host, port) of the advertised server, validating liveness.
+
+    A SIGKILL'd server cannot withdraw its state file; discovery that
+    trusted the file would then connect (or hang) on a dead address.
+    This reads the state file, checks the recorded pid is still alive,
+    and *removes* the stale file when it is not — so the next discovery
+    does not trip over it either. Returns ``None`` when no live server
+    is advertised.
+    """
+    state = read_state_full(path)
+    if state is None:
+        return None
+    host, port, pid = state
+    if not pid_alive(pid):
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced with another cleaner
+            pass
+        return None
+    return host, port
 
 
 def open_connection(host: str, port: int, timeout: Optional[float]) -> socket.socket:

@@ -22,11 +22,17 @@ A :class:`SimulationServer` owns
 The TCP listener is threaded (one thread per connection, IO-bound); all
 simulation happens in the pool. ``verify``/``cost``/``chaos``/``replay``
 grid gates are jobs on the same queue (op ``gate``).
+
+The pool itself is a :class:`~repro.service.resilience.ResilientPool`
+(docs/robustness.md): a SIGKILL'd worker no longer wedges the server —
+the pool is respawned, only the in-flight batches are re-dispatched,
+points that repeatedly kill workers are quarantined with a typed
+``PoisonPointError``, and sweeps may carry a wall-clock ``deadline_s``
+that cancels what cannot finish in time.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
 import socketserver
 import threading
@@ -36,7 +42,9 @@ from typing import Optional
 
 from ..core.diskcache import DiskCache, cache_key
 from ..core.executor import _simulate_batch, _warm_worker, group_points, resolve_jobs
+from ..errors import ServiceError
 from . import protocol
+from .resilience import ResilientPool
 
 __all__ = ["SimulationServer"]
 
@@ -191,9 +199,7 @@ class SimulationServer:
         self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
         self._tcp.sim = self
         self.port = self._tcp.server_address[1]
-        self._pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.jobs, initializer=_warm_worker
-        )
+        self._pool = ResilientPool(jobs=self.jobs, initializer=_warm_worker)
         self._lock = threading.Lock()  # pool submissions + counters
         self._started = time.time()  # det: allow — uptime telemetry only
         self._jobs_served = 0
@@ -223,7 +229,7 @@ class SimulationServer:
         """Drain the pool, stop listening and withdraw the state file."""
         self._shutdown_requested.set()
         self._tcp.server_close()
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True)  # ResilientPool: drains the live pool
         try:
             if self.state_file.exists():
                 self.state_file.unlink()
@@ -254,6 +260,8 @@ class SimulationServer:
             "uptime_s": time.time() - self._started,  # det: allow — telemetry
             "jobs": self._jobs_served,
             "points": self._points_served,
+            "respawns": self._pool.respawns_total,
+            "quarantined": len(self._pool.quarantined),
             "cache": None
             if cache_stats is None
             else {
@@ -266,7 +274,15 @@ class SimulationServer:
 
     # -- job handling ----------------------------------------------------
     def handle_sweep(self, msg: dict, wfile) -> None:
-        """Run one sweep job: cache pass, batched fan-out, streaming."""
+        """Run one sweep job: cache pass, batched fan-out, streaming.
+
+        Fan-out goes through the :class:`ResilientPool`: worker crashes
+        respawn the pool and re-dispatch only the in-flight batches,
+        repeatedly-crashing points stream back as typed
+        ``PoisonPointError`` outcomes, and an optional ``deadline_s``
+        cancels whatever cannot finish in time (typed
+        ``ServiceDeadlineError`` per unfinished point).
+        """
         spec = protocol.decode_spec(msg["spec"])
         points = protocol.decode_points(msg["points"])
         root = int(msg.get("root", 0))
@@ -274,6 +290,9 @@ class SimulationServer:
         faults = protocol.decode_faults(msg.get("faults"))
         reliable = protocol.decode_reliable(msg.get("reliable"))
         use_cache = bool(msg.get("cache", True)) and self.cache is not None
+        deadline_s = msg.get("deadline_s")
+        deadline_s = None if deadline_s is None else float(deadline_s)
+        job = str(msg.get("job", ""))
 
         sent = 0
         cold = []
@@ -301,47 +320,56 @@ class SimulationServer:
                 for i in cold
             }
             batches = group_points(points, cold, self.jobs)
-            with self._lock:
-                futures = {
-                    self._pool.submit(
-                        _simulate_batch, [tasks[i] for i in batch]
-                    ): batch
-                    for batch in batches
-                }
-            for fut in concurrent.futures.as_completed(futures):
-                batch = futures[fut]
-                for i, outcome in zip(batch, fut.result()):
-                    if outcome[0] == "ok":
-                        rec = outcome[1]
-                        if use_cache:
-                            self.cache.put(keys[i], rec)
-                        protocol.write_message(
-                            wfile,
-                            {"type": "result", "index": i,
-                             "record": protocol.encode_record(rec)},
-                        )
-                    else:
-                        _, error_type, message, tb = outcome
-                        protocol.write_message(
-                            wfile,
-                            {"type": "error", "index": i,
-                             "error_type": error_type, "message": message,
-                             "traceback": tb},
-                        )
-                    sent += 1
+            fault_digest = faults.digest() if faults is not None else ""
+
+            def poison_key(i: int) -> str:
+                p = points[i]
+                return (
+                    f"{p.algorithm}:{p.nranks}:{p.nbytes}:{root}:"
+                    f"{placement}:{fault_digest}"
+                )
+
+            for i, outcome in self._pool.run(
+                _simulate_batch,
+                batches,
+                tasks,
+                deadline_s=deadline_s,
+                poison_key=poison_key,
+            ):
+                if outcome[0] == "ok":
+                    rec = outcome[1]
+                    if use_cache:
+                        self.cache.put(keys[i], rec)
+                    protocol.write_message(
+                        wfile,
+                        {"type": "result", "index": i,
+                         "record": protocol.encode_record(rec)},
+                    )
+                else:
+                    _, error_type, message, tb = outcome
+                    protocol.write_message(
+                        wfile,
+                        {"type": "error", "index": i,
+                         "error_type": error_type, "message": message,
+                         "traceback": tb},
+                    )
+                sent += 1
 
         with self._lock:
             self._jobs_served += 1
             self._points_served += len(points)
-        protocol.write_message(wfile, {"type": "done", "count": sent})
+        protocol.write_message(
+            wfile, {"type": "done", "count": sent, "job": job}
+        )
 
     def handle_gate(self, msg: dict, wfile) -> None:
         """Run one verify/cost/chaos/replay grid on the worker pool."""
         gate = str(msg.get("gate", ""))
         params = msg.get("params") or {}
-        with self._lock:
-            fut = self._pool.submit(_run_gate, gate, params)
-        result = fut.result()
+        try:
+            result = self._pool.submit_once(_run_gate, gate, params)
+        except ServiceError as exc:
+            result = {"ok": False, "text": str(exc), "report": None}
         with self._lock:
             self._jobs_served += 1
         protocol.write_message(

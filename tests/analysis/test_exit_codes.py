@@ -36,6 +36,7 @@ CONFIG_ERROR_INVOCATIONS = [
     ["prove", "--xval", "banana"],
     ["prove", "--xval", "9:2"],
     ["traffic", "--procs", "x,y"],
+    ["audit", "no-such-artifact", "--dir", "/nonexistent-artifact-store"],
 ]
 
 
@@ -78,4 +79,28 @@ class TestExitCodes:
         )
         argv = ["prove", "--collective", "bcast_opt", "--no-crossval"]
         assert main(argv) == 1
+        capsys.readouterr()
+
+    def test_cache_fsck_follows_the_convention(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # 0 on a clean (even empty) cache, 1 when corruption is found,
+        # 0 again after --repair rewrites the damaged shard.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "--fsck"]) == 0
+        from repro.core import DiskCache, RunRecord
+
+        DiskCache(tmp_path).put(
+            "k1",
+            RunRecord(
+                algorithm="scatter_ring_opt", nranks=8, nbytes=65536,
+                root=0, time=1e-4, messages=28, bytes_on_wire=131072,
+                intra_messages=28, inter_messages=0, machine="ideal",
+            ),
+        )
+        shard = sorted((tmp_path / "shards").glob("*.jsonl"))[0]
+        shard.write_bytes(shard.read_bytes()[:-19])
+        assert main(["cache", "--fsck"]) == 1
+        assert main(["cache", "--fsck", "--repair"]) == 0
+        assert main(["cache", "--fsck"]) == 0
         capsys.readouterr()

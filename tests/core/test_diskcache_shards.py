@@ -119,11 +119,13 @@ class TestConcurrentWriters:
                 prefix = "ee" if i % 2 == 0 else f"{w:02x}"
                 rec = cache.get(make_key(n, prefix))
                 assert rec == make_record(n), (w, i)
-        # Every shard line parses: flock kept appends atomic.
+        # Every shard line parses: flock kept appends atomic (and every
+        # concurrently-appended line carries its integrity checksum).
         for shard in (tmp_path / "shards").glob("*.jsonl"):
             for line in shard.read_text(encoding="utf-8").splitlines():
                 obj = json.loads(line)
-                assert set(obj) == {"key", "record"}
+                assert set(obj) == {"key", "record", "sum"}
+        assert DiskCache(tmp_path).fsck().ok
 
 
 class TestLegacyMigration:

@@ -126,3 +126,49 @@ class TestStateFile:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert protocol.state_file_path(None) == tmp_path / "service.json"
         assert protocol.state_file_path(tmp_path / "x.json") == tmp_path / "x.json"
+
+
+class TestLiveness:
+    """A SIGKILL'd server cannot clean up its state file; discovery
+    must detect the dead pid and remove the stale advertisement."""
+
+    def test_read_state_full_includes_pid(self, tmp_path):
+        path = tmp_path / "service.json"
+        protocol.write_state(path, "127.0.0.1", 12345, 999)
+        assert protocol.read_state_full(path) == ("127.0.0.1", 12345, 999)
+
+    def test_own_pid_is_alive(self):
+        import os
+
+        assert protocol.pid_alive(os.getpid())
+
+    def test_dead_pid_is_not_alive(self):
+        import subprocess
+
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()  # reaped: the pid no longer exists
+        assert not protocol.pid_alive(proc.pid)
+
+    def test_pid_zero_is_treated_as_no_information(self):
+        # Old state files carry pid 0; signalling pid 0 would hit our
+        # own process group, so it must never be probed — and absent
+        # liveness information the advertisement is trusted.
+        assert protocol.pid_alive(0)
+
+    def test_locate_live_server_removes_stale_state(self, tmp_path):
+        import subprocess
+
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        path = tmp_path / "service.json"
+        protocol.write_state(path, "127.0.0.1", 12345, proc.pid)
+        assert protocol.locate_live_server(path) is None
+        assert not path.exists()  # stale advertisement removed
+
+    def test_locate_live_server_keeps_live_advertisement(self, tmp_path):
+        import os
+
+        path = tmp_path / "service.json"
+        protocol.write_state(path, "127.0.0.1", 12345, os.getpid())
+        assert protocol.locate_live_server(path) == ("127.0.0.1", 12345)
+        assert path.exists()
